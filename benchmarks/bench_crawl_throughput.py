@@ -1,0 +1,26 @@
+"""Harness throughput — how fast the simulator crawls and analyzes.
+
+Not a paper figure; it documents the cost of scaling the reproduction to
+the full 20k-site population (REPRO_SITES=20000).
+"""
+
+from repro.analysis import Study
+from repro.crawler import CrawlConfig, Crawler
+
+from conftest import banner
+
+
+def test_crawl_throughput(benchmark, population):
+    sites = population.successful_sites()[:50]
+    crawler = Crawler(population, CrawlConfig(seed=2025))
+    logs = benchmark(crawler.crawl, sites)
+    assert logs
+
+
+def test_study_throughput(benchmark, crawl_logs):
+    study = benchmark(Study, crawl_logs)
+    banner("Throughput", "crawl + analysis cost at sample scale")
+    print(f"analyzed {study.n_sites} sites; "
+          f"{len(study.exfil_events)} exfil events; "
+          f"{len(study.manipulations)} manipulations")
+    assert study.n_sites == len(crawl_logs)

@@ -1,0 +1,20 @@
+"""Figure 2 — top-20 exfiltrator script domains.
+
+Paper: googletagmanager.com leads at 3.29% of all cookie pairs, then
+doubleclick.net (0.99%), hubspot.com (0.76%), googlesyndication.com,
+google-analytics.com, adthrive.com, amazon-adsystem.com, ...
+"""
+
+from repro.analysis.reports import render_ranked
+
+from conftest import banner
+
+
+def test_figure2(benchmark, study):
+    rows = benchmark(study.figure2, 20)
+    banner("Figure 2 — top exfiltrator domains",
+           "googletagmanager.com ≈ 3.29% of cookies, ~3× the runner-up")
+    print(render_ranked(rows, "top-20 exfiltrators:"))
+    assert rows[0].domain == "googletagmanager.com"
+    if len(rows) > 1:
+        assert rows[0].n_cookies >= rows[1].n_cookies * 1.5

@@ -1,0 +1,27 @@
+"""Figures 6 and 9 — paired timing distributions (log/linear boxplots).
+
+Paper: the With-CookieGuard boxes are slightly shifted upward across all
+three metrics; long right tails, most pronounced for Load Event Time.
+(Figure 9 is the same data on a linear axis — the statistics are
+identical, so one bench covers both.)
+"""
+
+from repro.evaluation.performance import METRICS, paired_timings_from_logs
+
+from conftest import banner
+
+
+def test_figure6_boxplots(benchmark, crawl_logs):
+    report = paired_timings_from_logs(crawl_logs)
+    boxes = benchmark(report.boxplots)
+    banner("Figures 6/9 — paired boxplots",
+           "guarded medians shifted up; heavy right tails")
+    for metric in METRICS:
+        print(boxes[metric]["no_extension"].render(f"{metric} (no ext)"))
+        print(boxes[metric]["with_extension"].render(f"{metric} (guarded)"))
+        assert boxes[metric]["with_extension"].median > \
+            boxes[metric]["no_extension"].median
+        # Long right tail: top whisker far beyond the IQR.
+        stats = boxes[metric]["no_extension"]
+        assert stats.whisker_high > stats.q3 + stats.iqr
+        assert stats.n_outliers_high > 0

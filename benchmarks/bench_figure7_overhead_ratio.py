@@ -1,0 +1,24 @@
+"""Figures 7 and 10 — per-site overhead ratios (With/No).
+
+Paper: median ratios 1.108 (DCL), 1.111 (DOM Interactive), 1.122 (Load
+Event); wide multiplicative spread with extreme outliers (visit noise
+dominates individual pairs).
+"""
+
+from repro.evaluation.performance import METRICS, paired_timings_from_logs
+
+from conftest import banner
+
+
+def test_figure7_ratios(benchmark, crawl_logs):
+    report = paired_timings_from_logs(crawl_logs)
+    medians = benchmark(report.median_ratios)
+    banner("Figures 7/10 — overhead ratios",
+           "medians 1.108 / 1.111 / 1.122, heavy multiplicative spread")
+    print(report.render_ratios())
+    stats = report.ratio_stats()
+    for metric in METRICS:
+        print(stats[metric].render(metric, unit="x"))
+        assert 1.02 < medians[metric] < 1.35
+        assert stats[metric].maximum > 2.0   # the paper's extreme outliers
+        assert stats[metric].minimum < 1.0   # some sites are faster guarded

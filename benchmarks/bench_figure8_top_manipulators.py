@@ -1,0 +1,24 @@
+"""Figure 8 — top-20 manipulator script domains.
+
+Paper: googletagmanager.com tops overwriting (0.47% of cookies);
+prettylittlething.com (a first-party!) tops deleting (0.31%), followed by
+cdn-cookieyes.com and cookie-script.com.
+"""
+
+from repro.analysis.reports import render_ranked
+
+from conftest import banner
+
+
+def test_figure8(benchmark, study):
+    result = benchmark(study.figure8, 20)
+    banner("Figure 8 — top manipulator domains",
+           "GTM tops overwriting; CMPs + first-party sites top deleting")
+    print(render_ranked(result["overwriting"], "(a) overwriting:"))
+    print(render_ranked(result["deleting"], "(b) deleting:"))
+    overwriters = [r.domain for r in result["overwriting"]]
+    assert "googletagmanager.com" in overwriters[:5]
+    deleters = [r.domain for r in result["deleting"]]
+    cmp_like = {"cdn-cookieyes.com", "cookie-script.com",
+                "civiccomputing.com", "cookiebot.com", "cookielaw.org"}
+    assert cmp_like & set(deleters[:8])

@@ -1,0 +1,18 @@
+"""§5.5 — which attributes cross-domain overwrites change.
+
+Paper: 85.3% of overwrite events change the value, 69.4% the expiry,
+6.0% the domain attribute, and 1.2% the path.
+"""
+
+from conftest import banner
+
+
+def test_sec55(benchmark, study):
+    attrs = benchmark(study.sec55_overwrite_attributes)
+    banner("§5.5 — overwritten attributes",
+           "value 85.3% · expires 69.4% · domain 6.0% · path 1.2%")
+    for key, value in attrs.items():
+        print(f"  {key:<10} {value:6.1f}%")
+    assert attrs["value"] > attrs["expires"] > attrs["domain"] >= attrs["path"]
+    assert 70 < attrs["value"] <= 100
+    assert 50 < attrs["expires"] < 90

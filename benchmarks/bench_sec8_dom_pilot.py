@@ -1,0 +1,16 @@
+"""§8 pilot — cross-domain DOM modification.
+
+Paper: scripts modify, insert, or remove DOM elements that do not belong
+to them on 9.4% of sites.
+"""
+
+from repro.evaluation.dompilot import evaluate_dom_pilot
+
+from conftest import banner
+
+
+def test_dom_pilot(benchmark, crawl_logs):
+    report = benchmark(evaluate_dom_pilot, crawl_logs)
+    banner("§8 — cross-domain DOM modification pilot", "9.4% of sites")
+    print(report.render())
+    assert 3.0 < report.pct_sites < 18.0

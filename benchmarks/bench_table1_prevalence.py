@@ -1,0 +1,25 @@
+"""Table 1 — prevalence of cross-domain cookie actions.
+
+Paper: exfiltration 55.7% of sites / 5.9% of cookies; overwriting 31.5% /
+2.7%; deleting 6.3% / 1.8%; cookieStore exfiltration 0.7% / 16.3% and no
+cookieStore overwrites/deletes.
+"""
+
+from repro.analysis import Study
+from repro.analysis.reports import render_table1
+
+from conftest import banner
+
+
+def test_table1(benchmark, crawl_logs):
+    study = benchmark(Study, crawl_logs)
+    rows = study.table1()
+    banner("Table 1 — cross-domain action prevalence",
+           "exfil 55.7%/5.9% · overwrite 31.5%/2.7% · delete 6.3%/1.8%")
+    print(render_table1(rows))
+    by_key = {(r.cookie_type, r.action): r for r in rows}
+    doc = "document.cookie"
+    assert by_key[(doc, "exfiltration")].pct_websites > \
+        by_key[(doc, "overwriting")].pct_websites > \
+        by_key[(doc, "deleting")].pct_websites
+    assert by_key[("cookieStore", "overwriting")].pct_websites == 0.0

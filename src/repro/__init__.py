@@ -1,0 +1,66 @@
+"""repro — a full reproduction of *CookieGuard: Characterizing and
+Isolating the First-Party Cookie Jar* (IMC 2025).
+
+Layers (bottom-up):
+
+* :mod:`repro.net` — PSL/eTLD+1, DNS with CNAME cloaking, URLs, HTTP.
+* :mod:`repro.cookies` — RFC 6265 cookie model and jar.
+* :mod:`repro.browser` — deterministic browser simulator (frames/SOP,
+  JS call stack, event loop, ``document.cookie``/``CookieStore``, network
+  with initiator attribution, page-load timing model).
+* :mod:`repro.extension` — the Chrome-extension surfaces and the paper's
+  measurement extension.
+* :mod:`repro.cookieguard` — **the paper's contribution**: per-script-domain
+  isolation of the first-party cookie jar.
+* :mod:`repro.ecosystem` — synthetic tracker/site ecosystem calibrated to
+  the paper's measurements.
+* :mod:`repro.crawler` — the Selenium-style crawl harness.
+* :mod:`repro.analysis` — filter lists, entity map, cross-domain access
+  detection, exfiltration detection, and table/figure generators.
+* :mod:`repro.evaluation` — Figure 5 / Table 3 / Table 4 evaluations.
+
+Quickstart::
+
+    from repro import Browser, CookieGuardExtension, Script
+
+    browser = Browser()
+    browser.install(CookieGuardExtension())
+    page = browser.visit(
+        "https://example.com/",
+        scripts=[Script.external("https://tracker.test/t.js",
+                                 behavior=my_behavior)],
+    )
+"""
+
+from .browser import Browser, Page, Script
+from .cookieguard import (
+    AccessPolicy,
+    CookieGuardExtension,
+    Decision,
+    InlineMode,
+    PolicyConfig,
+)
+from .cookies import Cookie, CookieJar
+from .extension import InstrumentationExtension
+from .net import URL, Origin, parse_url, registrable_domain
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Browser",
+    "Page",
+    "Script",
+    "AccessPolicy",
+    "CookieGuardExtension",
+    "Decision",
+    "InlineMode",
+    "PolicyConfig",
+    "Cookie",
+    "CookieJar",
+    "InstrumentationExtension",
+    "URL",
+    "Origin",
+    "parse_url",
+    "registrable_domain",
+    "__version__",
+]

@@ -1,0 +1,64 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+study [N]        run the §5 measurement study (default 2000 sites)
+evaluate [N]     run the §7 CookieGuard evaluation (default 1000 sites)
+crawl [N] [OUT]  crawl and save raw visit logs as JSONL
+full [N] [OUT]   the complete paper reproduction in one shot
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _usage() -> None:
+    print(__doc__)
+    raise SystemExit(2)
+
+
+def main(argv=None) -> None:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        _usage()
+    command, *args = argv
+
+    if command == "study":
+        _run_example("measurement_study", args)
+    elif command == "evaluate":
+        _run_example("cookieguard_evaluation", args)
+    elif command == "crawl":
+        n_sites = int(args[0]) if args else 2000
+        out = args[1] if len(args) > 1 else "crawl.jsonl.gz"
+        from .crawler import CrawlConfig, Crawler, save_logs
+        from .ecosystem import PopulationConfig, generate_population
+        population = generate_population(PopulationConfig(n_sites=n_sites,
+                                                          seed=2025))
+        logs = Crawler(population, CrawlConfig(seed=2025)).crawl()
+        written = save_logs(logs, out)
+        print(f"saved {written} visit logs to {out}")
+    elif command == "full":
+        from pathlib import Path
+        script = Path(__file__).resolve().parents[2] / "scripts" / "full_scale_run.py"
+        sys.argv = [str(script)] + args
+        exec(compile(script.read_text(), str(script), "exec"),
+             {"__name__": "__main__"})
+    else:
+        _usage()
+
+
+def _run_example(name: str, args) -> None:
+    """Execute an example script from the repository's examples/ dir."""
+    from pathlib import Path
+    script = Path(__file__).resolve().parents[2] / "examples" / f"{name}.py"
+    if not script.exists():
+        print(f"example not found: {script}")
+        raise SystemExit(1)
+    sys.argv = [str(script)] + list(args)
+    exec(compile(script.read_text(), str(script), "exec"),
+         {"__name__": "__main__"})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Analysis framework: classification, attribution, exfiltration, reports."""
+
+from .attribution import (
+    CookiePair,
+    CrossDomainAction,
+    SiteOwnership,
+    build_ownership,
+    detect_manipulations,
+)
+from .entities import EntityMap, default_entity_map
+from .exfiltration import (
+    MIN_IDENTIFIER_LENGTH,
+    ExfilEvent,
+    IdentifierIndex,
+    detect_exfiltration,
+    split_candidates,
+)
+from .filterlists import FilterList, FilterRule, FilterRuleError, RuleOptions
+from .lists_data import LIST_NAMES, build_lists, combined_list
+from .reports import (
+    CONSENT_SIGNAL_COOKIES,
+    RankedDomain,
+    Study,
+    Table1Row,
+    Table2Row,
+    Table5Row,
+    render_ranked,
+    render_table1,
+    render_table2,
+    render_table5,
+)
+
+__all__ = [
+    "CookiePair",
+    "CrossDomainAction",
+    "SiteOwnership",
+    "build_ownership",
+    "detect_manipulations",
+    "EntityMap",
+    "default_entity_map",
+    "MIN_IDENTIFIER_LENGTH",
+    "ExfilEvent",
+    "IdentifierIndex",
+    "detect_exfiltration",
+    "split_candidates",
+    "FilterList",
+    "FilterRule",
+    "FilterRuleError",
+    "RuleOptions",
+    "LIST_NAMES",
+    "build_lists",
+    "combined_list",
+    "CONSENT_SIGNAL_COOKIES",
+    "RankedDomain",
+    "Study",
+    "Table1Row",
+    "Table2Row",
+    "Table5Row",
+    "render_ranked",
+    "render_table1",
+    "render_table2",
+    "render_table5",
+]

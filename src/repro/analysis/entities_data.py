@@ -1,0 +1,97 @@
+"""Embedded entity dataset (the DuckDuckGo Tracker Radar substitute).
+
+Maps eTLD+1 domains to owning entities.  The catalog's services contribute
+their own mappings automatically; this table adds the destination-only
+domains and the corporate groupings the paper relies on (facebook.com and
+fbcdn.net are both Meta; microsoft.com, live.com, bing.com and clarity.ms
+are all Microsoft; criteo.com and criteo.net are both Criteo; the HubSpot
+five-domain family; ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["EXTRA_DOMAIN_ENTITIES"]
+
+EXTRA_DOMAIN_ENTITIES: Dict[str, str] = {
+    # Google
+    "google.com": "Google",
+    "gstatic.com": "Google",
+    "googleapis.com": "Google",
+    "google-analytics.com": "Google",
+    "googletagmanager.com": "Google",
+    "doubleclick.net": "Google",
+    "googlesyndication.com": "Google",
+    # Microsoft
+    "microsoft.com": "Microsoft",
+    "live.com": "Microsoft",
+    "bing.com": "Microsoft",
+    "clarity.ms": "Microsoft",
+    "msn.com": "Microsoft",
+    # Meta
+    "facebook.com": "Meta",
+    "facebook.net": "Meta",
+    "fbcdn.net": "Meta",
+    "instagram.com": "Meta",
+    # Criteo
+    "criteo.com": "Criteo",
+    "criteo.net": "Criteo",
+    # Amazon
+    "amazon.com": "Amazon",
+    "amazon-adsystem.com": "Amazon",
+    "cloudfront.net": "Amazon",
+    # HubSpot family
+    "hubspot.com": "HubSpot",
+    "hs-scripts.com": "HubSpot",
+    "hsforms.net": "HubSpot",
+    "hscollectedforms.net": "HubSpot",
+    "hsleadflows.net": "HubSpot",
+    "usemessages.com": "HubSpot",
+    # LinkedIn
+    "linkedin.com": "LinkedIn",
+    "licdn.com": "LinkedIn",
+    # Yandex
+    "yandex.ru": "Yandex",
+    # Pinterest
+    "pinterest.com": "Pinterest",
+    "pinimg.com": "Pinterest",
+    # Adobe
+    "adobe.com": "Adobe",
+    "adobedtm.com": "Adobe",
+    "demdex.net": "Adobe",
+    "omtrdc.net": "Adobe",
+    # Snap
+    "snapchat.com": "Snap",
+    "sc-static.net": "Snap",
+    # Yahoo Japan
+    "yahoo.co.jp": "Yahoo Japan",
+    "yimg.jp": "Yahoo Japan",
+    # Segment / Twilio
+    "segment.com": "Segment.io",
+    "segment.io": "Segment.io",
+    # LiveIntent
+    "liveintent.com": "LiveIntent",
+    "liadm.com": "LiveIntent",
+    # Destination-only entities seen in Table 2
+    "x.com": "X",
+    "airbnb.com": "Airbnb",
+    "magnite.com": "Magnite",
+    "anview.com": "Anview",
+    "insent.ai": "insent.ai",
+    "whitesaas.com": "whitesaas.com",
+    "33across.com": "33Across",
+    "lexicon.33across.com": "33Across",
+    "sharethis.com": "ShareThis",
+    "salesforce.com": "Salesforce.com",
+    "tiktok.com": "TikTok",
+    "okta.com": "Okta",
+    "oktacdn.com": "Okta",
+    "shopifycloud.com": "Shopify",
+    "myshopify.com": "Shopify",
+    "getadmiral.com": "Admiral",
+    "blockthrough.com": "Blockthrough",
+    "viglink.com": "Sovrn",
+    "hadronid.net": "Audigent",
+    "crwdcntrl.net": "Lotame",
+}

@@ -1,0 +1,140 @@
+"""Exfiltration detection (§4.4, "Detecting Exfiltration").
+
+Pipeline, exactly as described in the paper:
+
+1. split each observed cookie value on non-alphanumeric delimiters and
+   keep substrings of ≥ 8 characters — the *candidate identifiers*;
+2. compute each candidate's Base64, MD5 and SHA1 forms (plus plaintext);
+3. split the query string (and POST body) of every outbound request the
+   same way;
+4. a match between (2) and (3) confirms exfiltration; it is
+   *cross-domain* when the initiating script's eTLD+1 differs from the
+   cookie's creator.
+
+Matching is set-intersection over precomputed forms, so a full crawl
+analyzes in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..encoding import encoded_forms
+from ..records import RequestEvent, VisitLog
+from .attribution import CookiePair, SiteOwnership, build_ownership
+
+__all__ = ["MIN_IDENTIFIER_LENGTH", "split_candidates", "ExfilEvent",
+           "IdentifierIndex", "detect_exfiltration"]
+
+MIN_IDENTIFIER_LENGTH = 8
+
+
+def split_candidates(value: str,
+                     min_length: int = MIN_IDENTIFIER_LENGTH) -> List[str]:
+    """Alphanumeric segments of ``value`` at least ``min_length`` long."""
+    out: List[str] = []
+    current: List[str] = []
+    for char in value:
+        if char.isalnum():
+            current.append(char)
+        else:
+            if len(current) >= min_length:
+                out.append("".join(current))
+            current = []
+    if len(current) >= min_length:
+        out.append("".join(current))
+    return out
+
+
+@dataclass(frozen=True)
+class ExfilEvent:
+    """One confirmed identifier transmission."""
+
+    site: str
+    pair: CookiePair
+    actor: str                 # eTLD+1 of the exfiltrating script
+    destination: str           # eTLD+1 receiving the identifier
+    url: str
+    matched_form: str          # "plain" | "b64" | "md5" | "sha1"
+    api_of_cookie: str         # creation API of the cookie ("http" included)
+
+    @property
+    def cross_domain(self) -> bool:
+        return self.actor != self.pair.creator
+
+
+class IdentifierIndex:
+    """encoded form → (cookie pair, form name) for one site's cookies."""
+
+    _FORM_NAMES = ("plain", "b64", "md5", "sha1")
+
+    def __init__(self, ownership: SiteOwnership):
+        self.ownership = ownership
+        self._index: Dict[str, Tuple[CookiePair, str]] = {}
+        for name, values in ownership.values.items():
+            pair = ownership.pair_of(name)
+            if pair is None:
+                continue
+            for value in values:
+                for candidate in split_candidates(value):
+                    for form_name, form in zip(self._FORM_NAMES,
+                                               encoded_forms(candidate)):
+                        # First pair wins on collisions (identical
+                        # identifiers across cookies are overwhelmingly
+                        # the same underlying id).
+                        self._index.setdefault(form, (pair, form_name))
+
+    def lookup(self, token: str) -> Optional[Tuple[CookiePair, str]]:
+        return self._index.get(token)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+
+def _request_tokens(request: RequestEvent) -> Set[str]:
+    tokens = set(split_candidates(request.query))
+    if request.body:
+        tokens.update(split_candidates(request.body))
+    return tokens
+
+
+def detect_exfiltration(log: VisitLog,
+                        ownership: Optional[SiteOwnership] = None,
+                        *, include_same_domain: bool = False
+                        ) -> List[ExfilEvent]:
+    """Confirmed exfiltration events for one visit.
+
+    By default only *cross-domain* events are returned (the paper treats
+    same-origin transmission — GA sending its own ``_ga`` home — as
+    authorized and expected).
+    """
+    if ownership is None:
+        ownership = build_ownership(log)
+    index = IdentifierIndex(ownership)
+    events: List[ExfilEvent] = []
+    seen: Set[Tuple[str, str, str, str]] = set()
+    for request in log.requests:
+        actor = request.script_domain if request.script_domain is not None \
+            else log.site
+        for token in _request_tokens(request):
+            hit = index.lookup(token)
+            if hit is None:
+                continue
+            pair, form_name = hit
+            if pair.creator == actor and not include_same_domain:
+                continue
+            key = (pair.name, pair.creator, actor, request.domain)
+            if key in seen:
+                continue
+            seen.add(key)
+            events.append(ExfilEvent(
+                site=log.site,
+                pair=pair,
+                actor=actor,
+                destination=request.domain,
+                url=request.url,
+                matched_form=form_name,
+                api_of_cookie=ownership.apis.get(pair.name, "script"),
+            ))
+    return events

@@ -1,0 +1,236 @@
+"""An Adblock-Plus-syntax filter engine (the paper's ``adblockparser``).
+
+§4.3: tracking/advertising scripts are identified by matching URLs against
+nine crowd-sourced filter lists.  This module implements the rule syntax
+subset those lists rely on:
+
+* ``||domain.com^`` — domain anchor (the dominant rule form);
+* ``|https://exact`` — start anchor;
+* plain substrings with ``*`` wildcards and ``^`` separator placeholders;
+* ``@@`` exception rules;
+* options: ``$script``, ``$image``, ``$third-party``, ``$~third-party``,
+  ``$domain=a.com|~b.com``.
+
+Rules compile to anchored regular expressions once and are bucketed by a
+domain key so matching a URL is a handful of dict probes, not a scan of
+every rule.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..net.psl import DEFAULT_PSL
+
+__all__ = ["FilterRule", "FilterRuleError", "FilterList", "RuleOptions"]
+
+_SEPARATOR_RE = r"[^\w.%-]"  # ABP '^' placeholder
+
+
+class FilterRuleError(ValueError):
+    """Raised for rule text the engine cannot parse."""
+
+
+@dataclass(frozen=True)
+class RuleOptions:
+    """Parsed ``$...`` options of one rule."""
+
+    resource_types: Tuple[str, ...] = ()     # empty = any
+    third_party: Optional[bool] = None       # None = either
+    include_domains: Tuple[str, ...] = ()
+    exclude_domains: Tuple[str, ...] = ()
+
+    def permits(self, *, resource_type: str, is_third_party: bool,
+                page_domain: str) -> bool:
+        if self.resource_types and resource_type not in self.resource_types:
+            return False
+        if self.third_party is not None and is_third_party != self.third_party:
+            return False
+        if self.include_domains and page_domain not in self.include_domains:
+            return False
+        if page_domain in self.exclude_domains:
+            return False
+        return True
+
+
+_KNOWN_TYPES = {"script", "image", "stylesheet", "xhr", "fetch", "beacon",
+                "subdocument", "document", "other"}
+
+
+class FilterRule:
+    """One compiled filter rule."""
+
+    def __init__(self, text: str):
+        raw = text.strip()
+        if not raw or raw.startswith("!") or raw.startswith("["):
+            raise FilterRuleError(f"comment/metadata line: {text!r}")
+        if "##" in raw or "#@#" in raw or "#?#" in raw:
+            raise FilterRuleError(f"cosmetic rule unsupported: {text!r}")
+        self.text = raw
+        self.is_exception = raw.startswith("@@")
+        if self.is_exception:
+            raw = raw[2:]
+        raw, self.options = self._split_options(raw)
+        if not raw:
+            raise FilterRuleError(f"empty pattern: {text!r}")
+        self.pattern = raw
+        self.anchor_domain = self._extract_anchor_domain(raw)
+        self._regex = re.compile(self._to_regex(raw))
+
+    # -- parsing ----------------------------------------------------------
+    @staticmethod
+    def _split_options(raw: str) -> Tuple[str, RuleOptions]:
+        dollar = raw.rfind("$")
+        if dollar <= 0 or "/" in raw[dollar:]:
+            return raw, RuleOptions()
+        pattern, opts_text = raw[:dollar], raw[dollar + 1:]
+        types: List[str] = []
+        third_party: Optional[bool] = None
+        include: List[str] = []
+        exclude: List[str] = []
+        for opt in opts_text.split(","):
+            opt = opt.strip()
+            if not opt:
+                continue
+            if opt == "third-party":
+                third_party = True
+            elif opt == "~third-party":
+                third_party = False
+            elif opt.startswith("domain="):
+                for dom in opt[len("domain="):].split("|"):
+                    dom = dom.strip().lower()
+                    if dom.startswith("~"):
+                        exclude.append(dom[1:])
+                    elif dom:
+                        include.append(dom)
+            elif opt in _KNOWN_TYPES:
+                types.append(opt)
+            elif opt.startswith("~") and opt[1:] in _KNOWN_TYPES:
+                pass  # negated types: treat as "any" (rare in our lists)
+            else:
+                # Unknown options make the rule unusable (adblockparser
+                # behaves the same way).
+                raise FilterRuleError(f"unsupported option {opt!r}")
+        return pattern, RuleOptions(tuple(types), third_party,
+                                    tuple(include), tuple(exclude))
+
+    @staticmethod
+    def _extract_anchor_domain(pattern: str) -> Optional[str]:
+        if not pattern.startswith("||"):
+            return None
+        body = pattern[2:]
+        for index, char in enumerate(body):
+            if char in "/^*$?":
+                body = body[:index]
+                break
+        return body.lower() or None
+
+    @staticmethod
+    def _to_regex(pattern: str) -> str:
+        if pattern.startswith("||"):
+            rest = pattern[2:]
+            prefix = r"^[a-z][a-z0-9+.-]*://([^/?#]*\.)?"
+        elif pattern.startswith("|"):
+            rest = pattern[1:]
+            prefix = "^"
+        else:
+            rest = pattern
+            prefix = ""
+        end = ""
+        if rest.endswith("|"):
+            rest = rest[:-1]
+            end = "$"
+        out: List[str] = []
+        for char in rest:
+            if char == "*":
+                out.append(".*")
+            elif char == "^":
+                out.append(f"(?:{_SEPARATOR_RE}|$)")
+            else:
+                out.append(re.escape(char))
+        return prefix + "".join(out) + end
+
+    # -- matching -----------------------------------------------------------
+    def matches(self, url: str, *, resource_type: str = "script",
+                page_domain: str = "", is_third_party: bool = True) -> bool:
+        if not self.options.permits(resource_type=resource_type,
+                                    is_third_party=is_third_party,
+                                    page_domain=page_domain):
+            return False
+        return self._regex.search(url) is not None
+
+    def __repr__(self) -> str:
+        return f"FilterRule({self.text!r})"
+
+
+class FilterList:
+    """A set of rules with domain-bucketed matching."""
+
+    def __init__(self, rules_text: Iterable[str], name: str = "filterlist"):
+        self.name = name
+        self._by_domain: Dict[str, List[FilterRule]] = {}
+        self._unanchored: List[FilterRule] = []
+        self._exceptions: List[FilterRule] = []
+        self.skipped: List[str] = []
+        for line in rules_text:
+            try:
+                rule = FilterRule(line)
+            except FilterRuleError:
+                self.skipped.append(line)
+                continue
+            if rule.is_exception:
+                self._exceptions.append(rule)
+            elif rule.anchor_domain is not None:
+                self._by_domain.setdefault(rule.anchor_domain, []).append(rule)
+            else:
+                self._unanchored.append(rule)
+
+    @property
+    def rule_count(self) -> int:
+        return (sum(len(v) for v in self._by_domain.values())
+                + len(self._unanchored) + len(self._exceptions))
+
+    def _candidate_rules(self, host: str) -> Iterable[FilterRule]:
+        probe = host.lower()
+        while probe:
+            for rule in self._by_domain.get(probe, ()):
+                yield rule
+            if "." not in probe:
+                break
+            probe = probe.split(".", 1)[1]
+        yield from self._unanchored
+
+    def should_block(self, url: str, *, resource_type: str = "script",
+                     page_domain: str = "", is_third_party: bool = True) -> bool:
+        """Would this URL occurrence be classified ad/tracking?"""
+        host = _host_of(url)
+        hit = any(rule.matches(url, resource_type=resource_type,
+                               page_domain=page_domain,
+                               is_third_party=is_third_party)
+                  for rule in self._candidate_rules(host))
+        if not hit:
+            return False
+        return not any(exc.matches(url, resource_type=resource_type,
+                                   page_domain=page_domain,
+                                   is_third_party=is_third_party)
+                       for exc in self._exceptions)
+
+    @classmethod
+    def combine(cls, lists: Sequence["FilterList"],
+                name: str = "combined") -> "FilterList":
+        combined = cls((), name=name)
+        for flist in lists:
+            for domain, rules in flist._by_domain.items():
+                combined._by_domain.setdefault(domain, []).extend(rules)
+            combined._unanchored.extend(flist._unanchored)
+            combined._exceptions.extend(flist._exceptions)
+            combined.skipped.extend(flist.skipped)
+        return combined
+
+
+def _host_of(url: str) -> str:
+    rest = url.split("://", 1)[-1]
+    host = rest.split("/", 1)[0].split("?", 1)[0]
+    return host.split(":", 1)[0].lower()

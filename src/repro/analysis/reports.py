@@ -1,0 +1,435 @@
+"""Table and figure generators for the measurement study (§5).
+
+:class:`Study` aggregates a crawl's visit logs once, then each
+``table_*``/``figure_*``/``sec*`` method derives one of the paper's
+results.  Rendering helpers return plain-text tables so benchmarks and
+examples can print the same rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..records import API_COOKIE_STORE, API_DOCUMENT_COOKIE, VisitLog
+from .attribution import (
+    CookiePair,
+    CrossDomainAction,
+    SiteOwnership,
+    build_ownership,
+    detect_manipulations,
+)
+from .entities import EntityMap, default_entity_map
+from .exfiltration import ExfilEvent, detect_exfiltration
+from .filterlists import FilterList
+from .lists_data import combined_list
+
+__all__ = ["Study", "Table1Row", "Table2Row", "RankedDomain", "Table5Row",
+           "CONSENT_SIGNAL_COOKIES"]
+
+#: Cookie names that are consent signals *intended* to be read by third
+#: parties (§5.4 flags ``us_privacy`` as such, not a tracking identifier).
+CONSENT_SIGNAL_COOKIES: Set[str] = {"us_privacy", "usprivacy"}
+
+
+# ---------------------------------------------------------------------------
+# Row shapes
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1."""
+
+    cookie_type: str          # "document.cookie" | "cookieStore"
+    action: str               # "exfiltration" | "overwriting" | "deleting"
+    pct_websites: float
+    pct_cookies: float
+    n_cookies: int
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table 2 (top exfiltrated cookie pairs)."""
+
+    cookie_name: str
+    owner_domain: str
+    n_exfiltrator_entities: int
+    n_destination_entities: int
+    top_exfiltrators: Tuple[str, ...]
+    top_destinations: Tuple[str, ...]
+    consent_signal: bool = False
+
+
+@dataclass(frozen=True)
+class RankedDomain:
+    """One bar of Figure 2 / Figure 8."""
+
+    domain: str
+    n_cookies: int
+    pct_of_all_cookies: float
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    """One row of Table 5 (most manipulated cookie pairs)."""
+
+    manipulation: str         # "overwriting" | "deleting"
+    cookie_name: str
+    creator_domain: str
+    n_manipulator_entities: int
+    top_manipulators: Tuple[str, ...]
+
+
+# ---------------------------------------------------------------------------
+# The study aggregator
+# ---------------------------------------------------------------------------
+
+class Study:
+    """One-pass aggregation of a crawl, with per-result accessors."""
+
+    def __init__(self, logs: Sequence[VisitLog],
+                 entity_map: Optional[EntityMap] = None,
+                 filter_list: Optional[FilterList] = None):
+        self.logs = list(logs)
+        self.entities = entity_map or default_entity_map()
+        self.filters = filter_list or combined_list()
+        self.ownerships: Dict[str, SiteOwnership] = {}
+        self.exfil_events: List[ExfilEvent] = []
+        self.manipulations: List[CrossDomainAction] = []
+        #: Global unique cookie pairs by creation API (script-set only).
+        self.pairs_by_api: Dict[str, Set[CookiePair]] = {
+            API_DOCUMENT_COOKIE: set(), API_COOKIE_STORE: set()}
+        self._aggregate()
+
+    # ------------------------------------------------------------------
+    def _aggregate(self) -> None:
+        for log in self.logs:
+            ownership = build_ownership(log)
+            self.ownerships[log.site] = ownership
+            for name, api in ownership.apis.items():
+                if api in self.pairs_by_api:
+                    pair = ownership.pair_of(name)
+                    if pair is not None:
+                        self.pairs_by_api[api].add(pair)
+            self.exfil_events.extend(detect_exfiltration(log, ownership))
+            self.manipulations.extend(detect_manipulations(log, ownership))
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.logs)
+
+    # ------------------------------------------------------------------
+    # §5.1 — prevalence of third-party scripts
+    # ------------------------------------------------------------------
+    def sec51_prevalence(self) -> Dict[str, float]:
+        n = max(self.n_sites, 1)
+        sites_with_tp = sum(1 for log in self.logs
+                            if log.n_third_party_scripts > 0)
+        tp_counts = [log.n_third_party_scripts for log in self.logs]
+        tracking_hits = 0
+        tp_total = 0
+        tp_set_writes = 0
+        fp_set_writes = 0
+        for log in self.logs:
+            for script in log.scripts:
+                if script.domain is None or script.domain == log.site:
+                    continue
+                tp_total += 1
+                if script.url and self.filters.should_block(
+                        script.url, resource_type="script",
+                        page_domain=log.site, is_third_party=True):
+                    tracking_hits += 1
+            for write in log.cookie_writes:
+                if write.kind not in ("set", "overwrite"):
+                    continue
+                if write.script_domain is not None \
+                        and write.script_domain != log.site:
+                    tp_set_writes += 1
+                else:
+                    fp_set_writes += 1
+        return {
+            "pct_sites_with_third_party": 100.0 * sites_with_tp / n,
+            "avg_third_party_scripts": sum(tp_counts) / n,
+            "pct_tracking_scripts": 100.0 * tracking_hits / max(tp_total, 1),
+            "avg_cookies_set_by_third_party": tp_set_writes / n,
+            "avg_cookies_set_by_first_party": fp_set_writes / n,
+        }
+
+    # ------------------------------------------------------------------
+    # §5.2 — cookie API usage
+    # ------------------------------------------------------------------
+    def sec52_api_usage(self) -> Dict[str, object]:
+        n = max(self.n_sites, 1)
+        doc_sites = 0
+        store_sites = 0
+        store_names: Counter = Counter()
+        for log in self.logs:
+            apis = {w.api for w in log.cookie_writes} \
+                | {r.api for r in log.cookie_reads}
+            if API_DOCUMENT_COOKIE in apis:
+                doc_sites += 1
+            if API_COOKIE_STORE in apis:
+                store_sites += 1
+            for write in log.cookie_writes:
+                if write.api == API_COOKIE_STORE \
+                        and write.kind in ("set", "overwrite"):
+                    store_names[write.cookie_name] += 1
+        doc_pairs = self.pairs_by_api[API_DOCUMENT_COOKIE]
+        store_pairs = self.pairs_by_api[API_COOKIE_STORE]
+        top_two = sum(count for _name, count in store_names.most_common(2))
+        return {
+            "pct_sites_document_cookie": 100.0 * doc_sites / n,
+            "pct_sites_cookie_store": 100.0 * store_sites / n,
+            "unique_pairs_document_cookie": len(doc_pairs),
+            "unique_pairs_cookie_store": len(store_pairs),
+            "unique_cookie_store_names": len(store_names),
+            "top_cookie_store_names": store_names.most_common(5),
+            "pct_top_two_cookie_store": (100.0 * top_two
+                                         / max(sum(store_names.values()), 1)),
+        }
+
+    # ------------------------------------------------------------------
+    # Table 1 — prevalence of cross-domain actions
+    # ------------------------------------------------------------------
+    def table1(self) -> List[Table1Row]:
+        n = max(self.n_sites, 1)
+        rows: List[Table1Row] = []
+        for api in (API_DOCUMENT_COOKIE, API_COOKIE_STORE):
+            total_pairs = max(len(self.pairs_by_api[api]), 1)
+
+            def pair_api(pair: CookiePair, site: str) -> Optional[str]:
+                ownership = self.ownerships.get(site)
+                if ownership is None:
+                    return None
+                return ownership.apis.get(pair.name)
+
+            exfil_sites: Set[str] = set()
+            exfil_pairs: Set[CookiePair] = set()
+            for event in self.exfil_events:
+                if pair_api(event.pair, event.site) == api:
+                    exfil_sites.add(event.site)
+                    exfil_pairs.add(event.pair)
+            rows.append(Table1Row(api, "exfiltration",
+                                  100.0 * len(exfil_sites) / n,
+                                  100.0 * len(exfil_pairs) / total_pairs,
+                                  len(exfil_pairs)))
+            for action in ("overwrite", "delete"):
+                hit_sites: Set[str] = set()
+                hit_pairs: Set[CookiePair] = set()
+                for manipulation in self.manipulations:
+                    if manipulation.kind != action:
+                        continue
+                    if pair_api(manipulation.pair, manipulation.site) == api:
+                        hit_sites.add(manipulation.site)
+                        hit_pairs.add(manipulation.pair)
+                label = "overwriting" if action == "overwrite" else "deleting"
+                rows.append(Table1Row(api, label,
+                                      100.0 * len(hit_sites) / n,
+                                      100.0 * len(hit_pairs) / total_pairs,
+                                      len(hit_pairs)))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Table 2 — most exfiltrated cookies
+    # ------------------------------------------------------------------
+    def table2(self, top: int = 20) -> List[Table2Row]:
+        per_pair_exfiltrators: Dict[CookiePair, Set[str]] = defaultdict(set)
+        per_pair_destinations: Dict[CookiePair, Set[str]] = defaultdict(set)
+        exfiltrator_freq: Dict[CookiePair, Counter] = defaultdict(Counter)
+        destination_freq: Dict[CookiePair, Counter] = defaultdict(Counter)
+        for event in self.exfil_events:
+            owner_entity = self.entities.entity_of(event.pair.creator)
+            actor_entity = self.entities.entity_of(event.actor)
+            dest_entity = self.entities.entity_of(event.destination)
+            if actor_entity is not None and actor_entity != owner_entity:
+                per_pair_exfiltrators[event.pair].add(actor_entity)
+                exfiltrator_freq[event.pair][actor_entity] += 1
+            if dest_entity is not None and dest_entity != owner_entity:
+                per_pair_destinations[event.pair].add(dest_entity)
+                destination_freq[event.pair][dest_entity] += 1
+        ranked = sorted(per_pair_destinations.keys(),
+                        key=lambda pair: (-len(per_pair_destinations[pair]),
+                                          -len(per_pair_exfiltrators[pair]),
+                                          pair.name))
+        rows: List[Table2Row] = []
+        for pair in ranked[:top]:
+            rows.append(Table2Row(
+                cookie_name=pair.name,
+                owner_domain=pair.creator,
+                n_exfiltrator_entities=len(per_pair_exfiltrators[pair]),
+                n_destination_entities=len(per_pair_destinations[pair]),
+                top_exfiltrators=tuple(
+                    entity for entity, _ in
+                    exfiltrator_freq[pair].most_common(3)),
+                top_destinations=tuple(
+                    entity for entity, _ in
+                    destination_freq[pair].most_common(3)),
+                consent_signal=pair.name in CONSENT_SIGNAL_COOKIES,
+            ))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Figure 2 — top exfiltrator script domains
+    # ------------------------------------------------------------------
+    def figure2(self, top: int = 20) -> List[RankedDomain]:
+        per_domain: Dict[str, Set[CookiePair]] = defaultdict(set)
+        for event in self.exfil_events:
+            per_domain[event.actor].add(event.pair)
+        total = max(len(self.pairs_by_api[API_DOCUMENT_COOKIE])
+                    + len(self.pairs_by_api[API_COOKIE_STORE]), 1)
+        ranked = sorted(per_domain.items(), key=lambda kv: -len(kv[1]))[:top]
+        return [RankedDomain(domain, len(pairs), 100.0 * len(pairs) / total)
+                for domain, pairs in ranked]
+
+    # ------------------------------------------------------------------
+    # §5.5 — which attributes overwrites change
+    # ------------------------------------------------------------------
+    def sec55_overwrite_attributes(self) -> Dict[str, float]:
+        overwrites = [m for m in self.manipulations if m.kind == "overwrite"]
+        n = max(len(overwrites), 1)
+        counts = Counter()
+        for manipulation in overwrites:
+            for attr in manipulation.attrs_changed:
+                counts[attr] += 1
+        return {attr: 100.0 * counts[attr] / n
+                for attr in ("value", "expires", "domain", "path")}
+
+    # ------------------------------------------------------------------
+    # Table 5 — most manipulated cookies
+    # ------------------------------------------------------------------
+    def table5(self, top: int = 10) -> List[Table5Row]:
+        rows: List[Table5Row] = []
+        for action, label in (("overwrite", "overwriting"),
+                              ("delete", "deleting")):
+            per_pair: Dict[CookiePair, Set[str]] = defaultdict(set)
+            freq: Dict[CookiePair, Counter] = defaultdict(Counter)
+            for manipulation in self.manipulations:
+                if manipulation.kind != action:
+                    continue
+                owner_entity = self.entities.entity_of(manipulation.pair.creator)
+                actor_entity = self.entities.entity_of(manipulation.actor)
+                if actor_entity is None or actor_entity == owner_entity:
+                    continue
+                per_pair[manipulation.pair].add(actor_entity)
+                freq[manipulation.pair][actor_entity] += 1
+            ranked = sorted(per_pair.keys(),
+                            key=lambda pair: (-len(per_pair[pair]), pair.name))
+            for pair in ranked[:top]:
+                rows.append(Table5Row(
+                    manipulation=label,
+                    cookie_name=pair.name,
+                    creator_domain=pair.creator,
+                    n_manipulator_entities=len(per_pair[pair]),
+                    top_manipulators=tuple(
+                        entity for entity, _ in freq[pair].most_common(3)),
+                ))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Figure 8 — top manipulator domains
+    # ------------------------------------------------------------------
+    def figure8(self, top: int = 20) -> Dict[str, List[RankedDomain]]:
+        total = max(len(self.pairs_by_api[API_DOCUMENT_COOKIE])
+                    + len(self.pairs_by_api[API_COOKIE_STORE]), 1)
+        out: Dict[str, List[RankedDomain]] = {}
+        for action, label in (("overwrite", "overwriting"),
+                              ("delete", "deleting")):
+            per_domain: Dict[str, Set[CookiePair]] = defaultdict(set)
+            for manipulation in self.manipulations:
+                if manipulation.kind == action:
+                    per_domain[manipulation.actor].add(manipulation.pair)
+            ranked = sorted(per_domain.items(),
+                            key=lambda kv: -len(kv[1]))[:top]
+            out[label] = [RankedDomain(domain, len(pairs),
+                                       100.0 * len(pairs) / total)
+                          for domain, pairs in ranked]
+        return out
+
+    # ------------------------------------------------------------------
+    # §5.6 — inclusion paths
+    # ------------------------------------------------------------------
+    def sec56_inclusion(self) -> Dict[str, float]:
+        direct = sum(log.n_direct_third_party for log in self.logs)
+        indirect = sum(log.n_indirect_third_party for log in self.logs)
+        indirect_tracking = 0
+        indirect_total = 0
+        for log in self.logs:
+            for script in log.scripts:
+                if script.inclusion != "indirect" or script.domain is None:
+                    continue
+                if script.domain == log.site:
+                    continue
+                indirect_total += 1
+                if script.url and self.filters.should_block(
+                        script.url, resource_type="script",
+                        page_domain=log.site, is_third_party=True):
+                    indirect_tracking += 1
+        n = max(self.n_sites, 1)
+        sites_with_tp = sum(1 for log in self.logs
+                            if log.n_third_party_scripts > 0)
+        return {
+            "pct_sites_with_third_party": 100.0 * sites_with_tp / n,
+            "indirect_to_direct_ratio": indirect / max(direct, 1),
+            "pct_indirect_tracking": (100.0 * indirect_tracking
+                                      / max(indirect_total, 1)),
+            "pct_direct_of_third_party": (100.0 * direct
+                                          / max(direct + indirect, 1)),
+        }
+
+    # ------------------------------------------------------------------
+    # §8 — DOM-modification pilot
+    # ------------------------------------------------------------------
+    def sec8_dom_pilot(self) -> Dict[str, float]:
+        n = max(self.n_sites, 1)
+        sites_hit = sum(1 for log in self.logs
+                        if any(m.cross_script for m in log.dom_mutations))
+        return {
+            "pct_sites_cross_domain_dom_modification": 100.0 * sites_hit / n,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def render_table1(rows: List[Table1Row]) -> str:
+    lines = [f"{'cookie type':<18} {'action':<14} {'% websites':>10} "
+             f"{'% cookies':>10} {'(No.)':>8}"]
+    for row in rows:
+        lines.append(f"{row.cookie_type:<18} {row.action:<14} "
+                     f"{row.pct_websites:>10.1f} {row.pct_cookies:>10.1f} "
+                     f"{row.n_cookies:>8}")
+    return "\n".join(lines)
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    lines = [f"{'cookie':<28} {'owner domain':<26} {'#exf':>5} {'#dst':>5}  "
+             f"{'top exfiltrators':<42} top destinations"]
+    for row in rows:
+        name = row.cookie_name + (" [consent]" if row.consent_signal else "")
+        lines.append(f"{name:<28} {row.owner_domain:<26} "
+                     f"{row.n_exfiltrator_entities:>5} "
+                     f"{row.n_destination_entities:>5}  "
+                     f"{', '.join(row.top_exfiltrators):<42} "
+                     f"{', '.join(row.top_destinations)}")
+    return "\n".join(lines)
+
+
+def render_ranked(rows: List[RankedDomain], title: str) -> str:
+    lines = [title]
+    for row in rows:
+        lines.append(f"  {row.domain:<34} {row.n_cookies:>6} "
+                     f"({row.pct_of_all_cookies:.2f}%)")
+    return "\n".join(lines)
+
+
+def render_table5(rows: List[Table5Row]) -> str:
+    lines = [f"{'type':<12} {'cookie':<24} {'creator':<26} {'#ent':>5}  "
+             f"top manipulator entities"]
+    for row in rows:
+        lines.append(f"{row.manipulation:<12} {row.cookie_name:<24} "
+                     f"{row.creator_domain:<26} "
+                     f"{row.n_manipulator_entities:>5}  "
+                     f"{', '.join(row.top_manipulators)}")
+    return "\n".join(lines)

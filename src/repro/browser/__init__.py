@@ -1,0 +1,48 @@
+"""Browser simulator: event loop, frames/SOP, scripts, cookie APIs, network."""
+
+from .browser import Browser, BrowserExtension, ServerHandler
+from .cookiestore import CookieListItem, CookieStore, NotSecureContext
+from .document_cookie import DocumentCookie
+from .dom import Document, DomMutation, Element
+from .events import Clock, EventLoop, Promise
+from .frames import Frame, SopViolation
+from .html import HtmlParser, ParsedScript, extract_scripts, render_page_html
+from .network import NetworkManager, Transport
+from .page import JSContext, Page
+from .scripts import InclusionKind, Script
+from .stack import CallStack, StackFrame, StackSnapshot
+from .timing import PageLoadModel, PageTimings, TimingConfig
+
+__all__ = [
+    "Browser",
+    "BrowserExtension",
+    "ServerHandler",
+    "CookieListItem",
+    "CookieStore",
+    "NotSecureContext",
+    "DocumentCookie",
+    "Document",
+    "DomMutation",
+    "Element",
+    "Clock",
+    "EventLoop",
+    "Promise",
+    "Frame",
+    "SopViolation",
+    "HtmlParser",
+    "ParsedScript",
+    "extract_scripts",
+    "render_page_html",
+    "NetworkManager",
+    "Transport",
+    "JSContext",
+    "Page",
+    "InclusionKind",
+    "Script",
+    "CallStack",
+    "StackFrame",
+    "StackSnapshot",
+    "PageLoadModel",
+    "PageTimings",
+    "TimingConfig",
+]

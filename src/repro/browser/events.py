@@ -1,0 +1,185 @@
+"""A deterministic event loop: tasks, microtasks, and timers.
+
+The simulator needs an event loop for two reasons that both come straight
+from the paper:
+
+* The ``CookieStore`` API is promise-based, so its reads/writes resolve on
+  the microtask queue rather than synchronously.
+* Stack-trace attribution "may fall short in certain asynchronous
+  scenarios — such as when cookies are accessed in callbacks following
+  ``setTimeout``" (§8).  Timer callbacks therefore cross an *async
+  boundary* that the attribution layer can be configured to see through
+  (async stack traces) or not.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Clock", "EventLoop", "Promise"]
+
+
+class Clock:
+    """A virtual clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("clock cannot go backwards")
+        self._now += seconds
+
+
+@dataclass(order=True)
+class _Timer:
+    due: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Promise:
+    """A minimal thenable resolved through the event loop's microtasks."""
+
+    PENDING = "pending"
+    FULFILLED = "fulfilled"
+    REJECTED = "rejected"
+
+    def __init__(self, loop: "EventLoop"):
+        self._loop = loop
+        self.state = Promise.PENDING
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Promise"], None]] = []
+
+    def _settle(self, state: str, value: Any = None,
+                error: Optional[BaseException] = None) -> None:
+        if self.state != Promise.PENDING:
+            return
+        self.state = state
+        self.value = value
+        self.error = error
+        for callback in self._callbacks:
+            self._loop.queue_microtask(lambda cb=callback: cb(self))
+        self._callbacks.clear()
+
+    def resolve(self, value: Any = None) -> None:
+        self._settle(Promise.FULFILLED, value=value)
+
+    def reject(self, error: BaseException) -> None:
+        self._settle(Promise.REJECTED, error=error)
+
+    def then(self, on_fulfilled: Optional[Callable[[Any], Any]] = None,
+             on_rejected: Optional[Callable[[BaseException], Any]] = None) -> "Promise":
+        """Chain a continuation; returns a new Promise."""
+        next_promise = Promise(self._loop)
+
+        def run(settled: "Promise") -> None:
+            try:
+                if settled.state == Promise.FULFILLED:
+                    result = on_fulfilled(settled.value) if on_fulfilled else settled.value
+                    next_promise.resolve(result)
+                else:
+                    if on_rejected is not None:
+                        next_promise.resolve(on_rejected(settled.error))
+                    else:
+                        next_promise.reject(settled.error)  # propagate
+            except BaseException as exc:  # noqa: BLE001 — promise semantics
+                next_promise.reject(exc)
+
+        if self.state == Promise.PENDING:
+            self._callbacks.append(run)
+        else:
+            self._loop.queue_microtask(lambda: run(self))
+        return next_promise
+
+    @property
+    def settled(self) -> bool:
+        return self.state != Promise.PENDING
+
+    def result(self) -> Any:
+        """Value of a fulfilled promise; raises for pending/rejected."""
+        if self.state == Promise.PENDING:
+            raise RuntimeError("promise still pending — run the event loop")
+        if self.state == Promise.REJECTED:
+            assert self.error is not None
+            raise self.error
+        return self.value
+
+
+class EventLoop:
+    """Tasks + microtasks + virtual timers, fully deterministic."""
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self.clock = clock or Clock()
+        self._tasks: List[Callable[[], None]] = []
+        self._microtasks: List[Callable[[], None]] = []
+        self._timers: List[_Timer] = []
+        self._seq = itertools.count()
+
+    # -- scheduling -----------------------------------------------------
+    def queue_task(self, callback: Callable[[], None]) -> None:
+        self._tasks.append(callback)
+
+    def queue_microtask(self, callback: Callable[[], None]) -> None:
+        self._microtasks.append(callback)
+
+    def set_timeout(self, callback: Callable[[], None], delay: float) -> _Timer:
+        timer = _Timer(self.clock.now() + max(delay, 0.0), next(self._seq), callback)
+        heapq.heappush(self._timers, timer)
+        return timer
+
+    def clear_timeout(self, timer: _Timer) -> None:
+        timer.cancelled = True
+
+    # -- execution ------------------------------------------------------
+    def drain_microtasks(self) -> int:
+        """Run microtasks until the queue is empty (they may enqueue more)."""
+        count = 0
+        while self._microtasks:
+            callback = self._microtasks.pop(0)
+            callback()
+            count += 1
+            if count > 100_000:
+                raise RuntimeError("microtask storm — probable infinite loop")
+        return count
+
+    def run_until_idle(self, max_time: float = 600.0) -> int:
+        """Run everything: tasks, microtasks, and due-or-future timers.
+
+        The clock jumps forward to each timer's due time (virtual time).
+        Returns the number of callbacks executed.
+        """
+        executed = 0
+        deadline = self.clock.now() + max_time
+        while True:
+            executed += self.drain_microtasks()
+            if self._tasks:
+                task = self._tasks.pop(0)
+                task()
+                executed += 1
+                continue
+            while self._timers and self._timers[0].cancelled:
+                heapq.heappop(self._timers)
+            if self._timers:
+                timer = heapq.heappop(self._timers)
+                if timer.due > deadline:
+                    return executed
+                if timer.due > self.clock.now():
+                    self.clock.advance(timer.due - self.clock.now())
+                timer.callback()
+                executed += 1
+                continue
+            return executed
+
+    @property
+    def pending(self) -> bool:
+        return bool(self._tasks or self._microtasks
+                    or any(not t.cancelled for t in self._timers))

@@ -1,0 +1,29 @@
+"""CookieGuard — the paper's core contribution.
+
+Per-script-eTLD+1 isolation of the first-party cookie jar, implemented as
+a browser extension over :mod:`repro.extension.api`.
+"""
+
+from .guard import CookieGuardExtension
+from .metadata import INLINE_CREATOR, CreatorStore
+from .policy import AccessPolicy, Decision, InlineMode, PolicyConfig
+from .signatures import (
+    ScriptSignature,
+    SignatureStore,
+    detect_self_hosted,
+    operations_of,
+)
+
+__all__ = [
+    "CookieGuardExtension",
+    "INLINE_CREATOR",
+    "CreatorStore",
+    "AccessPolicy",
+    "Decision",
+    "InlineMode",
+    "PolicyConfig",
+    "ScriptSignature",
+    "SignatureStore",
+    "detect_self_hosted",
+    "operations_of",
+]

@@ -1,0 +1,55 @@
+"""CookieGuard's creator-metadata store.
+
+The extension "maintains a metadata store that logs each cookie's name and
+the eTLD+1 of the script or server that created it" (§6.1), updated on
+every creation event from JavaScript *and* from HTTP ``Set-Cookie``
+headers.  The store lives in the background service worker
+(``background.js``) and is queried by the content script on every read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["CreatorStore", "INLINE_CREATOR"]
+
+#: Sentinel creator for cookies written by inline / unattributable scripts.
+INLINE_CREATOR = "<inline>"
+
+
+@dataclass
+class CreatorStore:
+    """Maps (top-level site, cookie name) → creator eTLD+1.
+
+    Keys are scoped per visited site because the same cookie name set by
+    the same tracker on two sites is two different first-party cookies
+    (the paper's "cookie pair" framing).
+    """
+
+    _creators: Dict[Tuple[str, str], str] = field(default_factory=dict)
+
+    def record_creation(self, site: str, cookie_name: str, creator: str) -> None:
+        """Record a creation; the *first* creator wins.
+
+        The first writer is the cookie's owner — later cross-domain writers
+        must not be able to steal ownership by overwriting (that would let
+        a tracker claim a session cookie by clobbering it once).
+        """
+        key = (site, cookie_name)
+        self._creators.setdefault(key, creator)
+
+    def creator_of(self, site: str, cookie_name: str) -> Optional[str]:
+        return self._creators.get((site, cookie_name))
+
+    def forget(self, site: str, cookie_name: str) -> None:
+        """Drop metadata once the owner deletes its cookie."""
+        self._creators.pop((site, cookie_name), None)
+
+    def known_cookies(self, site: str) -> Dict[str, str]:
+        """All (cookie name → creator) pairs recorded for ``site``."""
+        return {name: creator for (s, name), creator in self._creators.items()
+                if s == site}
+
+    def __len__(self) -> int:
+        return len(self._creators)

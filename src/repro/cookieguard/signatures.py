@@ -1,0 +1,180 @@
+"""Behaviour signatures for scripts (§8 "Manipulation of script source").
+
+The paper's proposed counter-measure to self-hosting and inline evasion,
+after Chen et al.: build *behaviour signatures* for known third-party
+scripts from a large crawl, then flag first-party-hosted scripts whose
+runtime behaviour matches a known tracker.  Because signatures are built
+from what a script *does* (cookie names touched, destinations contacted)
+rather than from its code, they are robust to minification and
+obfuscation.
+
+A signature is an order-insensitive multiset digest of:
+
+* cookie names the script writes/deletes,
+* cookie-read arity buckets (none / some / bulk),
+* the eTLD+1s it sends requests to.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..records import VisitLog
+
+__all__ = ["ScriptSignature", "SignatureStore", "operations_of",
+           "detect_self_hosted"]
+
+Operation = Tuple[str, str]
+
+
+def _read_bucket(n_names: int) -> str:
+    if n_names == 0:
+        return "none"
+    if n_names <= 3:
+        return "some"
+    return "bulk"
+
+
+def operations_of(log: VisitLog, script_url: str) -> List[Operation]:
+    """Extract the behavioural operations one script performed."""
+    ops: List[Operation] = []
+    for write in log.cookie_writes:
+        if write.script_url == script_url:
+            ops.append((f"write:{write.kind}", write.cookie_name))
+    for read in log.cookie_reads:
+        if read.script_url == script_url:
+            ops.append(("read", _read_bucket(len(read.cookie_names))))
+    for request in log.requests:
+        if request.script_url == script_url \
+                and request.resource_type != "script":
+            ops.append(("request", request.domain))
+    return ops
+
+
+@dataclass(frozen=True)
+class ScriptSignature:
+    """An order-insensitive digest of a script's behaviour."""
+
+    digest: str
+    n_operations: int
+    features: FrozenSet[Operation]
+
+    @classmethod
+    def from_operations(cls, operations: Iterable[Operation]
+                        ) -> Optional["ScriptSignature"]:
+        features = frozenset(operations)
+        if not features:
+            return None
+        payload = "|".join(sorted(f"{kind}={value}"
+                                  for kind, value in features))
+        digest = hashlib.sha1(payload.encode()).hexdigest()
+        return cls(digest=digest, n_operations=len(features),
+                   features=features)
+
+    def similarity(self, other: "ScriptSignature") -> float:
+        """Jaccard similarity of the feature sets."""
+        if not self.features or not other.features:
+            return 0.0
+        intersection = len(self.features & other.features)
+        union = len(self.features | other.features)
+        return intersection / union
+
+
+@dataclass
+class SignatureStore:
+    """Signatures of known third-party scripts, learned from a crawl.
+
+    The crawl's destination domains vary per site only through the site
+    name itself, so request features whose domain equals the visited site
+    are dropped during learning — the remaining features generalize
+    across sites.
+    """
+
+    #: exact digest → third-party eTLD+1 vote counts
+    _exact: Dict[str, Counter] = field(default_factory=dict)
+    #: retained (signature, domain) pairs for fuzzy matching
+    _corpus: List[Tuple[ScriptSignature, str]] = field(default_factory=list)
+
+    @staticmethod
+    def _site_free(operations: Sequence[Operation],
+                   site: str) -> List[Operation]:
+        return [(kind, value) for kind, value in operations
+                if not (kind == "request" and value == site)]
+
+    def learn(self, logs: Iterable[VisitLog]) -> int:
+        """Build signatures from every attributed third-party script."""
+        learned = 0
+        for log in logs:
+            for script in log.scripts:
+                if script.url is None or script.domain is None:
+                    continue
+                if script.domain == log.site:
+                    continue  # only known third parties are teachers
+                operations = self._site_free(
+                    operations_of(log, script.url), log.site)
+                signature = ScriptSignature.from_operations(operations)
+                if signature is None:
+                    continue
+                self._exact.setdefault(signature.digest,
+                                       Counter())[script.domain] += 1
+                self._corpus.append((signature, script.domain))
+                learned += 1
+        return learned
+
+    def match(self, operations: Sequence[Operation], *, site: str = "",
+              threshold: float = 0.75) -> Optional[str]:
+        """Best-matching known tracker domain for a behaviour, or None."""
+        operations = self._site_free(operations, site)
+        signature = ScriptSignature.from_operations(operations)
+        if signature is None:
+            return None
+        votes = self._exact.get(signature.digest)
+        if votes:
+            return votes.most_common(1)[0][0]
+        best_domain: Optional[str] = None
+        best_score = threshold
+        for known, domain in self._corpus:
+            score = signature.similarity(known)
+            if score > best_score:
+                best_score = score
+                best_domain = domain
+        return best_domain
+
+    def __len__(self) -> int:
+        return len(self._corpus)
+
+
+@dataclass(frozen=True)
+class SelfHostedFinding:
+    """A first-party-attributed script behaving like a known tracker."""
+
+    site: str
+    script_url: str
+    matched_domain: str
+
+
+def detect_self_hosted(logs: Iterable[VisitLog], store: SignatureStore,
+                       threshold: float = 0.75) -> List[SelfHostedFinding]:
+    """Flag first-party scripts whose behaviour matches a known tracker.
+
+    This is exactly the §8 proposal: CNAME-cloaked and self-hosted
+    trackers carry the site's eTLD+1 in their URL, but their *behaviour*
+    (cookie names, destinations) matches the third-party original learned
+    elsewhere in the crawl.
+    """
+    findings: List[SelfHostedFinding] = []
+    for log in logs:
+        for script in log.scripts:
+            if script.url is None or script.domain != log.site:
+                continue
+            operations = operations_of(log, script.url)
+            matched = store.match(operations, site=log.site,
+                                  threshold=threshold)
+            if matched is not None and matched != log.site:
+                findings.append(SelfHostedFinding(
+                    site=log.site, script_url=script.url,
+                    matched_domain=matched))
+    return findings

@@ -1,0 +1,29 @@
+"""Cookie substrate: RFC 6265 model, jar, and string serialization."""
+
+from .cookie import (
+    Cookie,
+    SameSite,
+    default_path,
+    domain_match,
+    parse_cookie_pair,
+    parse_set_cookie,
+    path_match,
+)
+from .jar import MAX_COOKIES_PER_DOMAIN, CookieChange, CookieJar
+from .serialize import parse_cookie_string, serialize_set_cookie, to_cookie_string
+
+__all__ = [
+    "Cookie",
+    "SameSite",
+    "default_path",
+    "domain_match",
+    "parse_cookie_pair",
+    "parse_set_cookie",
+    "path_match",
+    "MAX_COOKIES_PER_DOMAIN",
+    "CookieChange",
+    "CookieJar",
+    "parse_cookie_string",
+    "serialize_set_cookie",
+    "to_cookie_string",
+]

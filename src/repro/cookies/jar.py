@@ -1,0 +1,177 @@
+"""The browser cookie jar.
+
+One jar per simulated browser profile.  The jar implements RFC 6265
+storage semantics (replacement by (name, domain, path), deletion via past
+expiry, host-only vs domain cookies, HttpOnly script shielding) plus the
+per-domain eviction limit real browsers enforce.
+
+The jar deliberately knows *nothing* about which script set a cookie —
+exactly the gap the paper identifies.  Creator attribution lives in the
+instrumentation extension and in CookieGuard's metadata store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..net.url import URL
+from .cookie import Cookie, domain_match, parse_set_cookie, path_match
+
+__all__ = ["CookieJar", "CookieChange", "MAX_COOKIES_PER_DOMAIN"]
+
+MAX_COOKIES_PER_DOMAIN = 180  # Chrome's per-eTLD+1 limit
+
+
+@dataclass(frozen=True)
+class CookieChange:
+    """Emitted on every jar mutation (for cookieStore change events etc.)."""
+
+    kind: str  # "set" | "overwrite" | "delete" | "expire" | "evict"
+    cookie: Cookie
+    previous: Optional[Cookie] = None
+
+
+class CookieJar:
+    """RFC 6265 cookie storage with change notifications."""
+
+    def __init__(self) -> None:
+        self._store: Dict[Tuple[str, str, str], Cookie] = {}
+        self._listeners: List[Callable[[CookieChange], None]] = []
+
+    # -- listeners ------------------------------------------------------
+    def add_listener(self, callback: Callable[[CookieChange], None]) -> None:
+        self._listeners.append(callback)
+
+    def _notify(self, change: CookieChange) -> None:
+        for listener in list(self._listeners):
+            listener(change)
+
+    # -- storage --------------------------------------------------------
+    def set(self, cookie: Cookie, now: float = 0.0) -> Optional[CookieChange]:
+        """Store ``cookie`` per the RFC 6265 storage algorithm.
+
+        A cookie whose expiry is already in the past acts as a deletion of
+        the matching stored cookie.  Returns the resulting change record,
+        or None when the write was a no-op (deleting a non-existent
+        cookie).
+        """
+        key = cookie.key
+        previous = self._store.get(key)
+        if cookie.is_expired(now):
+            if previous is None:
+                return None
+            del self._store[key]
+            change = CookieChange("delete", cookie, previous=previous)
+            self._notify(change)
+            return change
+        if previous is not None:
+            # Preserve the original creation time on replacement
+            # (RFC 6265 §5.3 step 11.3).
+            cookie = replace(cookie, creation_time=previous.creation_time)
+            kind = "overwrite"
+        else:
+            kind = "set"
+        self._store[key] = cookie
+        self._evict_domain(cookie.domain, now)
+        change = CookieChange(kind, cookie, previous=previous)
+        self._notify(change)
+        return change
+
+    def set_from_header(self, header: str, url: URL, *, now: float = 0.0,
+                        from_http: bool = True) -> Optional[CookieChange]:
+        """Parse and store a ``Set-Cookie`` header received from ``url``."""
+        cookie = parse_set_cookie(
+            header,
+            request_host=url.host,
+            request_path=url.path,
+            now=now,
+            from_http=from_http,
+            secure_context=url.is_secure,
+        )
+        if cookie is None:
+            return None
+        return self.set(cookie, now=now)
+
+    def delete(self, name: str, domain: str, path: str = "/") -> Optional[CookieChange]:
+        """Remove a cookie outright (cookieStore.delete semantics)."""
+        key = (name, domain, path)
+        previous = self._store.get(key)
+        if previous is None:
+            return None
+        del self._store[key]
+        change = CookieChange("delete", previous, previous=previous)
+        self._notify(change)
+        return change
+
+    def _evict_domain(self, domain: str, now: float) -> None:
+        same = [c for c in self._store.values() if c.domain == domain]
+        if len(same) <= MAX_COOKIES_PER_DOMAIN:
+            return
+        # Evict least-recently-accessed first, like Chrome.
+        same.sort(key=lambda c: (c.last_access_time, c.creation_time))
+        for victim in same[: len(same) - MAX_COOKIES_PER_DOMAIN]:
+            del self._store[victim.key]
+            self._notify(CookieChange("evict", victim, previous=victim))
+
+    def purge_expired(self, now: float) -> int:
+        """Drop expired cookies; returns how many were removed."""
+        expired = [c for c in self._store.values() if c.is_expired(now)]
+        for cookie in expired:
+            del self._store[cookie.key]
+            self._notify(CookieChange("expire", cookie, previous=cookie))
+        return len(expired)
+
+    # -- retrieval ------------------------------------------------------
+    def cookies_for_url(self, url: URL, *, now: float = 0.0,
+                        include_http_only: bool = True,
+                        touch: bool = True) -> List[Cookie]:
+        """Cookies that would be attached to a request for ``url``.
+
+        Results are sorted per RFC 6265 §5.4: longer paths first, then
+        earlier creation times.
+        """
+        matches: List[Cookie] = []
+        for cookie in list(self._store.values()):
+            if cookie.is_expired(now):
+                continue
+            if cookie.host_only:
+                if url.host.lower() != cookie.domain:
+                    continue
+            elif not domain_match(url.host, cookie.domain):
+                continue
+            if not path_match(url.path, cookie.path):
+                continue
+            if cookie.secure and not url.is_secure:
+                continue
+            if cookie.http_only and not include_http_only:
+                continue
+            matches.append(cookie)
+        matches.sort(key=lambda c: (-len(c.path), c.creation_time))
+        if touch:
+            for cookie in matches:
+                self._store[cookie.key] = cookie.touched(now)
+        return matches
+
+    def script_visible(self, url: URL, now: float = 0.0) -> List[Cookie]:
+        """Cookies visible to ``document.cookie`` readers on ``url``."""
+        return self.cookies_for_url(url, now=now, include_http_only=False)
+
+    def get(self, name: str, domain: str, path: str = "/") -> Optional[Cookie]:
+        return self._store.get((name, domain, path))
+
+    def find(self, name: str) -> List[Cookie]:
+        """All stored cookies with ``name`` (any domain/path)."""
+        return [c for c in self._store.values() if c.name == name]
+
+    def all(self) -> List[Cookie]:
+        return list(self._store.values())
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Tuple[str, str, str]) -> bool:
+        return key in self._store
+
+    def clear(self) -> None:
+        self._store.clear()

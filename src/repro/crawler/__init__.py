@@ -1,0 +1,33 @@
+"""Crawl harness: Selenium-style site visits with instrumentation."""
+
+from .crawler import (CrawlConfig, Crawler, crawl_population,
+                      render_site_html)
+from .logs import (
+    API_COOKIE_STORE,
+    API_DOCUMENT_COOKIE,
+    CookieReadEvent,
+    CookieWriteEvent,
+    DomMutationEvent,
+    HeaderCookieEvent,
+    RequestEvent,
+    VisitLog,
+)
+from .storage import CrawlDataset, load_logs, save_logs
+
+__all__ = [
+    "CrawlConfig",
+    "Crawler",
+    "crawl_population",
+    "render_site_html",
+    "API_COOKIE_STORE",
+    "API_DOCUMENT_COOKIE",
+    "CookieReadEvent",
+    "CookieWriteEvent",
+    "DomMutationEvent",
+    "HeaderCookieEvent",
+    "RequestEvent",
+    "VisitLog",
+    "CrawlDataset",
+    "load_logs",
+    "save_logs",
+]

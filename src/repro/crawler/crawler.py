@@ -1,0 +1,344 @@
+"""The crawl harness (§4.2).
+
+Mirrors the paper's data collection: a browser preloaded with the
+instrumentation extension visits each site's landing page, performs light
+interaction (scrolling plus up to three link clicks, two seconds apart),
+and the visit log is retained only when both cookie data and network data
+were collected.
+
+The same harness drives the CookieGuard evaluation crawls: pass
+``install_guard=True`` (and optionally a policy) to reproduce the
+"with extension" condition of Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..browser.browser import Browser
+from ..browser.scripts import Script
+from ..cookieguard.policy import PolicyConfig
+from ..cookies.serialize import serialize_set_cookie
+from ..ecosystem.behaviors import build_behavior, first_party_behavior
+from ..ecosystem.population import Population
+from ..ecosystem.services import ServiceSpec
+from ..ecosystem.site import SiteSpec
+from ..extension.instrumentation import InstrumentationExtension
+from ..net.dns import Resolver
+from ..net.headers import Headers
+from ..net.http import Request, Response, ResourceType
+from ..records import DomMutationEvent, ScriptRecord, VisitLog
+
+__all__ = ["CrawlConfig", "Crawler", "crawl_population"]
+
+
+@dataclass(frozen=True)
+class CrawlConfig:
+    """Crawl-level switches."""
+
+    seed: int = 2025
+    interact: bool = True
+    max_clicks: int = 3
+    install_guard: bool = False
+    guard_policy: Optional[PolicyConfig] = None
+    guard_uncloak_dns: bool = False
+
+
+class Crawler:
+    """Visits :class:`SiteSpec` sites and produces :class:`VisitLog`\\ s."""
+
+    def __init__(self, population: Population,
+                 config: Optional[CrawlConfig] = None):
+        self.population = population
+        self.config = config or CrawlConfig()
+        #: Guard instances from guarded crawls (one per visited site).
+        self.guards: List = []
+
+    # ------------------------------------------------------------------
+    def crawl(self, sites: Optional[Sequence[SiteSpec]] = None,
+              keep_incomplete: bool = False) -> List[VisitLog]:
+        """Crawl ``sites`` (default: the whole population).
+
+        Returns the retained visit logs — those with both cookie and
+        network data, matching the paper's 14,917/20,000 criterion —
+        unless ``keep_incomplete`` is set.
+        """
+        if sites is None:
+            sites = self.population.sites
+        logs: List[VisitLog] = []
+        for site in sites:
+            log = self.visit_site(site)
+            if log is None:
+                continue
+            if keep_incomplete or log.complete:
+                logs.append(log)
+        return logs
+
+    # ------------------------------------------------------------------
+    def visit_site(self, site: SiteSpec) -> Optional[VisitLog]:
+        """Visit one site; None when the crawl fails (timeout/bot wall)."""
+        if site.crawl_fails:
+            return None
+        rng = np.random.default_rng([self.config.seed, site.rank])
+        browser = self._build_browser(site, rng)
+        if self.config.install_guard:
+            # Imported here: cookieguard depends on the extension platform,
+            # whose package initialisation reaches back into crawler.logs.
+            from ..cookieguard.guard import CookieGuardExtension
+            guard = CookieGuardExtension(
+                self.config.guard_policy,
+                uncloak_dns=self.config.guard_uncloak_dns)
+            browser.install(guard)
+            self.guards.append(guard)
+        instrumentation = InstrumentationExtension()
+        browser.install(instrumentation)
+
+        scripts = self._build_scripts(site, rng)
+        page = browser.visit(site.url, scripts=scripts, run=False)
+        _build_markup(page)
+        page.run_scripts()
+
+        if self.config.interact:
+            self._interact(page, site, rng)
+
+        log = instrumentation.log_for(page)
+        self._finalize_log(log, page, site)
+        return log
+
+    # ------------------------------------------------------------------
+    def _build_browser(self, site: SiteSpec, rng) -> Browser:
+        resolver = Resolver()
+        browser = Browser(resolver=resolver, rng=rng)
+        browser.register_server(site.domain, _site_server(site))
+        for key in site.all_service_keys():
+            service = self.population.services[key]
+            browser.register_server(service.domain, _service_server(service))
+        for key in site.cloaked_services:
+            service = self.population.services[key]
+            resolver.add_cname_cloak(f"metrics.{site.domain}",
+                                     service.effective_script_host)
+        return browser
+
+    # ------------------------------------------------------------------
+    def _resolver_for(self, site: SiteSpec) -> Callable:
+        """Child resolver honouring the site's indirect assignments."""
+        services = self.population.services
+
+        def resolve(key: str) -> Tuple[ServiceSpec, Callable]:
+            spec = services[key]
+            overrides = site.service_overrides.get(key)
+            if overrides:
+                spec = spec.with_overrides(**overrides)
+            assigned = site.indirect_assignments.get(key)
+            if assigned:
+                spec = spec.with_overrides(children=assigned,
+                                           child_count=(len(assigned),
+                                                        len(assigned)))
+                return spec, build_behavior(spec, resolve)
+            # Children not assigned by the population do not fan out —
+            # inclusion counts stay exactly as sampled.
+            spec = spec.with_overrides(children=(), child_count=(0, 0))
+            return spec, build_behavior(spec, None)
+
+        return resolve
+
+    def _build_scripts(self, site: SiteSpec, rng) -> List[Script]:
+        services = self.population.services
+        resolve = self._resolver_for(site)
+        scripts: List[Script] = []
+
+        fp = site.first_party
+        scripts.append(Script.external(
+            f"https://{site.domain}/static/main.js",
+            behavior=first_party_behavior(
+                session=fp.session, prefs=fp.prefs, reads_jar=fp.reads_jar,
+                deletes=fp.deletes, overwrites=fp.overwrites,
+                self_hosted_tracking=fp.self_hosted_tracking,
+                exfil_destination=fp.exfil_destination),
+            label="first-party"))
+
+        if site.has_inline_script:
+            scripts.append(Script.inline(behavior=_inline_behavior,
+                                         label="inline"))
+
+        for key in site.direct_services:
+            spec, behavior = resolve(key)
+            scripts.append(Script.external(spec.script_url, behavior=behavior,
+                                           label=spec.key))
+
+        for key in site.cloaked_services:
+            service = services[key]
+            cloaked_spec = service.with_overrides(children=(),
+                                                  child_count=(0, 0))
+            scripts.append(Script.external(
+                f"https://metrics.{site.domain}{service.script_path}",
+                behavior=build_behavior(cloaked_spec, None),
+                label=f"cloaked:{service.key}"))
+        return scripts
+
+    # ------------------------------------------------------------------
+    def _interact(self, page, site: SiteSpec, rng) -> None:
+        """Scroll and click up to three links, two seconds apart (§4.2)."""
+        page.clock.advance(2.0)  # scroll settle
+        clicks = min(self.config.max_clicks, site.n_links)
+        trackers = [s for s in page.scripts
+                    if s.url is not None and s.behavior is not None
+                    and s.is_third_party_on(site.domain)]
+        for _ in range(clicks):
+            page.clock.advance(2.0)
+            if trackers:
+                pick = trackers[int(rng.integers(0, len(trackers)))]
+                ping = Script.external(str(pick.url), behavior=_ping_behavior,
+                                       label=f"ping:{pick.label}")
+                page.add_script(ping)
+            page.run_scripts()
+
+    # ------------------------------------------------------------------
+    def _finalize_log(self, log: VisitLog, page, site: SiteSpec) -> None:
+        log.rank = site.rank
+        log.interacted = self.config.interact
+        # The paper reports *distinct* third-party scripts; interaction
+        # pings re-execute existing script URLs, so dedupe by URL and
+        # attribute each URL by its first inclusion.
+        seen: Dict[str, Script] = {}
+        for script in page.scripts:
+            key = str(script.url) if script.url else f"inline:{script.script_id}"
+            seen.setdefault(key, script)
+        distinct = list(seen.values())
+        third_party = [s for s in distinct
+                       if s.is_third_party_on(site.domain)]
+        for script in distinct:
+            parent = script.parent
+            log.scripts.append(ScriptRecord(
+                url=str(script.url) if script.url else None,
+                domain=script.attributed_domain(),
+                inclusion=("inline" if script.is_inline
+                           else script.inclusion_kind),
+                depth=script.inclusion_depth,
+                parent_domain=(parent.attributed_domain()
+                               if parent is not None else None),
+            ))
+        log.n_scripts = len(distinct)
+        log.n_third_party_scripts = len(third_party)
+        log.n_direct_third_party = sum(
+            1 for s in third_party if s.parent is None)
+        log.n_indirect_third_party = sum(
+            1 for s in third_party if s.parent is not None)
+        log.cookie_op_count = page.cookie_op_count
+        for mutation in page.document.mutations:
+            actor = mutation.actor.attributed_domain() if mutation.actor else None
+            owner = mutation.owner.attributed_domain() if mutation.owner else None
+            # Page markup belongs to the first party: a third-party script
+            # rewriting it is as cross-domain as rewriting another
+            # tracker's element (§8 pilot definition).
+            effective_owner = owner if owner is not None else site.domain
+            cross = actor is not None and actor != effective_owner
+            log.dom_mutations.append(DomMutationEvent(
+                site=site.domain,
+                kind=mutation.kind,
+                target_tag=mutation.target_tag,
+                actor_domain=actor,
+                owner_domain=owner,
+                cross_script=cross,
+                timestamp=page.clock.now(),
+            ))
+
+
+# ---------------------------------------------------------------------------
+# Page-world helpers
+# ---------------------------------------------------------------------------
+
+def _build_markup(page) -> None:
+    """Static page markup (owner None = the first party's own HTML)."""
+    document = page.document
+    for tag, css_class in (("header", "site-header"), ("main", "content"),
+                           ("footer", "site-footer")):
+        element = document.create_element(tag)
+        element.set_attribute("class", css_class)
+        document.body.append_child(element)
+    document.mutations.clear()  # markup construction is not scripted
+
+
+def _inline_behavior(js) -> None:
+    """The site's inline snippet: a prefs cookie and a jar read."""
+    js.set_cookie(serialize_set_cookie("inline_pref", "expanded",
+                                       path="/", max_age=30 * 86400.0))
+    js.get_cookie()
+
+
+def _ping_behavior(js) -> None:
+    """Interaction-triggered re-engagement ping from a present tracker."""
+    jar = js.get_cookie()
+    js.load_image(f"https://{js.current_script.url.host}/ping",
+                  params={"n": len(jar), "site": js.site_domain})
+
+
+def _site_server(site: SiteSpec):
+    """The site's own web server."""
+
+    def handler(request: Request) -> Response:
+        headers = Headers()
+        if request.resource_type is ResourceType.DOCUMENT:
+            if site.http_session_cookie:
+                flags = "; HttpOnly" if site.http_session_httponly else ""
+                headers.add("set-cookie",
+                            f"php_sessid=srv{site.rank}x{abs(hash(site.domain)) % 10**12}; "
+                            f"Path=/{flags}")
+            if site.http_marketing_cookie:
+                headers.add("set-cookie",
+                            f"mkt_attrib=utm{site.rank}campaign{abs(hash(site.domain[::-1])) % 10**10}; "
+                            f"Path=/; Max-Age=2592000")
+        return Response(url=request.url, status=200, headers=headers)
+
+    return handler
+
+
+def _service_server(service: ServiceSpec):
+    """A third-party service's server (scripts + collect endpoints)."""
+
+    def handler(request: Request) -> Response:
+        headers = Headers()
+        if service.sets_http_cookie:
+            headers.add("set-cookie",
+                        f"{service.key}_srv=sv{abs(hash(service.domain)) % 10**12}; "
+                        f"Path=/; Max-Age=31536000")
+        return Response(url=request.url, status=200, headers=headers)
+
+    return handler
+
+
+def render_site_html(site: SiteSpec, services: Dict[str, ServiceSpec]) -> str:
+    """The landing-page markup a site serves (matches the crawl order).
+
+    The script list mirrors :meth:`Crawler._build_scripts` exactly:
+    first-party main.js, the inline snippet, direct services, then any
+    cloaked first-party subdomain scripts.  ``tests/test_crawler_html.py``
+    verifies the round-trip against the executed script list.
+    """
+    from ..browser.html import render_page_html
+
+    srcs = [f"https://{site.domain}/static/main.js"]
+    inline_bodies = []
+    if site.has_inline_script:
+        inline_bodies.append(
+            "document.cookie = 'inline_pref=expanded; Max-Age=2592000'; "
+            "void document.cookie;")
+    for key in site.direct_services:
+        srcs_service = services[key]
+        srcs.append(srcs_service.script_url)
+    for key in site.cloaked_services:
+        service = services[key]
+        srcs.append(f"https://metrics.{site.domain}{service.script_path}")
+    links = [f"/page{i}" for i in range(min(site.n_links, 10))]
+    return render_page_html(title=site.domain, script_srcs=srcs,
+                            inline_bodies=inline_bodies, links=links)
+
+
+def crawl_population(population: Population,
+                     config: Optional[CrawlConfig] = None,
+                     sites: Optional[Sequence[SiteSpec]] = None) -> List[VisitLog]:
+    """One-call convenience: crawl a population and return retained logs."""
+    return Crawler(population, config).crawl(sites)

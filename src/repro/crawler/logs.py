@@ -1,0 +1,23 @@
+"""Re-export of the log record schemas (canonical home: repro.records)."""
+
+from ..records import (
+    API_COOKIE_STORE,
+    API_DOCUMENT_COOKIE,
+    CookieReadEvent,
+    CookieWriteEvent,
+    DomMutationEvent,
+    HeaderCookieEvent,
+    RequestEvent,
+    VisitLog,
+)
+
+__all__ = [
+    "API_COOKIE_STORE",
+    "API_DOCUMENT_COOKIE",
+    "CookieReadEvent",
+    "CookieWriteEvent",
+    "DomMutationEvent",
+    "HeaderCookieEvent",
+    "RequestEvent",
+    "VisitLog",
+]

@@ -1,0 +1,66 @@
+"""Persistence for crawl datasets (JSONL, optionally gzipped)."""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from .logs import VisitLog
+
+__all__ = ["save_logs", "load_logs", "CrawlDataset"]
+
+
+def _open(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_logs(logs: Iterable[VisitLog], path: Union[str, Path]) -> int:
+    """Write one JSON object per visit; returns the number written."""
+    path = Path(path)
+    count = 0
+    with _open(path, "w") as handle:
+        for log in logs:
+            handle.write(json.dumps(log.to_dict()) + "\n")
+            count += 1
+    return count
+
+
+def load_logs(path: Union[str, Path]) -> List[VisitLog]:
+    """Read a JSONL crawl dataset back into :class:`VisitLog` objects."""
+    path = Path(path)
+    logs: List[VisitLog] = []
+    with _open(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                logs.append(VisitLog.from_dict(json.loads(line)))
+    return logs
+
+
+class CrawlDataset:
+    """A collection of visit logs with the paper's retention filter."""
+
+    def __init__(self, logs: List[VisitLog]):
+        self.logs = logs
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "CrawlDataset":
+        return cls(load_logs(path))
+
+    def save(self, path: Union[str, Path]) -> int:
+        return save_logs(self.logs, path)
+
+    @property
+    def complete(self) -> List[VisitLog]:
+        """Sites with both cookie access logs and network data (§4.2)."""
+        return [log for log in self.logs if log.complete]
+
+    def __len__(self) -> int:
+        return len(self.logs)
+
+    def __iter__(self):
+        return iter(self.logs)

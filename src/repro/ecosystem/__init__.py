@@ -1,0 +1,40 @@
+"""Synthetic web ecosystem calibrated to the paper's measurements."""
+
+from .behaviors import ARCHETYPES, build_behavior, first_party_behavior
+from .catalog import (
+    NAMED_SERVICES,
+    SSO_PROVIDER_KEYS,
+    TAG_MANAGER_KEYS,
+    full_catalog,
+    generic_services,
+    service_index,
+)
+from .identifiers import SIM_EPOCH, IdFactory
+from .population import Population, PopulationConfig, generate_population
+from .services import DAY, YEAR, CookieSpec, ServiceSpec
+from .site import FirstPartyConfig, FunctionalDep, SiteSpec, SsoFlow
+
+__all__ = [
+    "ARCHETYPES",
+    "build_behavior",
+    "first_party_behavior",
+    "NAMED_SERVICES",
+    "SSO_PROVIDER_KEYS",
+    "TAG_MANAGER_KEYS",
+    "full_catalog",
+    "generic_services",
+    "service_index",
+    "SIM_EPOCH",
+    "IdFactory",
+    "Population",
+    "PopulationConfig",
+    "generate_population",
+    "DAY",
+    "YEAR",
+    "CookieSpec",
+    "ServiceSpec",
+    "FirstPartyConfig",
+    "FunctionalDep",
+    "SiteSpec",
+    "SsoFlow",
+]

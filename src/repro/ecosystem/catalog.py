@@ -1,0 +1,869 @@
+"""The third-party service catalog.
+
+Every named service in the paper's tables and figures appears here with
+its real domain, owning entity, cookie names and value formats, and the
+cross-domain actions the paper attributes to it:
+
+* Table 2's exfiltrated cookies and their creator domains (``_ga`` from
+  googletagmanager.com / google-analytics.com, ``PugT`` from pubmatic.com,
+  ``us_privacy`` from ketchjs.com, ...);
+* Figure 2's top exfiltrator script domains;
+* Table 5 / Figure 8's overwriters (googletagmanager.com, criteo.net,
+  sentry-cdn.com, ...) and deleters (cdn-cookieyes.com, cookie-script.com,
+  civiccomputing.com, ...);
+* the case studies: LinkedIn's ``insight.min.js`` Base64-exfiltrating
+  ``_ga``, Osano forwarding ``_fbp`` to Criteo, Pubmatic clobbering
+  Criteo's ``cto_bundle``, the Shopify/Admiral CookieStore SDKs.
+
+A deterministic long tail of generic trackers/widgets provides ecosystem
+scale beyond the named services.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .services import DAY, YEAR, CookieSpec, ServiceSpec
+
+__all__ = [
+    "NAMED_SERVICES",
+    "generic_services",
+    "full_catalog",
+    "service_index",
+    "SSO_PROVIDER_KEYS",
+    "TAG_MANAGER_KEYS",
+]
+
+# Short aliases to keep the table readable.
+C = CookieSpec
+S = ServiceSpec
+
+# The identifiers most commonly harvested cross-domain (Table 2's top rows).
+_POPULAR_LOOT = ("_ga", "_gid", "_gcl_au", "_fbp", "us_privacy")
+
+
+NAMED_SERVICES: Tuple[ServiceSpec, ...] = (
+    # ------------------------------------------------------------------
+    # Google stack
+    # ------------------------------------------------------------------
+    S(key="googletagmanager", domain="googletagmanager.com", entity="Google",
+      category="tag_manager", tracking=True, archetype="tag_manager",
+      script_host="www.googletagmanager.com", script_path="/gtm.js",
+      cookies=(C("_ga", "ga_client_id", 2 * YEAR),
+               C("_gcl_au", "gcl_au", 90 * DAY)),
+      steal_targets=("_fbp", "_uetvid", "cto_bundle", "ajs_anonymous_id",
+                     "_ym_d", "us_privacy", "_mkto_trk", "i", "PugT"),
+      destinations=("google-analytics.com", "doubleclick.net"),
+      overwrite_targets=("_ga", "OptanonConsent", "_fbp", "utag_main",
+                         "_gid", "_uetvid", "ajs_anonymous_id", "user_id",
+                         "cookie_test"),
+      overwrite_prob=0.249, harvest_prob=0.38,
+      children=("google-analytics", "doubleclick", "facebook-pixel",
+                "bing-uet", "hubspot", "hotjar", "criteo-onetag",
+                "linkedin-insight", "pinterest-tag", "yandex-metrika",
+                "segment", "tiktok-pixel", "snap-pixel", "clarity"),
+      child_count=(2, 6), popularity=30.0),
+
+    S(key="google-analytics", domain="google-analytics.com", entity="Google",
+      category="analytics", tracking=True, archetype="analytics",
+      script_host="www.google-analytics.com", script_path="/analytics.js",
+      cookies=(C("_ga", "ga_client_id", 2 * YEAR),
+               C("_gid", "gid", 1 * DAY)),
+      steal_targets=("_fbp", "_gcl_au", "OptanonConsent", "us_privacy",
+                     "gaconnector_GA_Client_ID", "gaconnector_GA_Session_ID"),
+      steal_prob=0.074, harvest_prob=0.165,
+      destinations=("doubleclick.net", "google.com"),
+      overwrite_targets=("_gid",), overwrite_prob=0.048,
+      popularity=28.0),
+
+    S(key="ua-legacy", domain="google-analytics.com", entity="Google",
+      category="analytics", tracking=True, archetype="analytics",
+      script_host="www.google-analytics.com", script_path="/ga.js",
+      cookies=(C("__utma", "utma", 2 * YEAR), C("__utmb", "utmb", 1800.0),
+               C("__utmz", "utmz", 180 * DAY)),
+      popularity=3.0),
+
+    S(key="doubleclick", domain="doubleclick.net", entity="Google",
+      category="advertising", tracking=True, archetype="ad_exchange",
+      script_host="securepubads.doubleclick.net", script_path="/tag/js/gpt.js",
+      cookies=(C("dc_gtm_id", "generic_id", 90 * DAY),),
+      steal_prob=0.074, harvest_prob=0.165,
+      destinations=("googlesyndication.com", "amazon-adsystem.com",
+                    "pubmatic.com", "openx.net"),
+      children=("amazon-adsystem", "pubmatic", "openx", "criteo-onetag",
+                "taboola", "liveintent"),
+      child_count=(1, 3), popularity=16.0),
+
+    S(key="googlesyndication", domain="googlesyndication.com", entity="Google",
+      category="advertising", tracking=True, archetype="ad_exchange",
+      script_host="pagead2.googlesyndication.com",
+      script_path="/pagead/js/adsbygoogle.js",
+      cookies=(C("__gads", "generic_id", 390 * DAY),
+               C("__gpi", "generic_id", 390 * DAY)),
+      steal_prob=0.074, harvest_prob=0.138,
+      destinations=("doubleclick.net",), popularity=14.0),
+
+    S(key="google-sso", domain="google.com", entity="Google",
+      category="sso", tracking=False, archetype="sso_provider",
+      script_host="accounts.google.com", script_path="/gsi/client",
+      cookies=(C("g_state", "generic_id", 180 * DAY),),
+      popularity=6.0),
+
+    # ------------------------------------------------------------------
+    # Microsoft stack
+    # ------------------------------------------------------------------
+    S(key="bing-uet", domain="bing.com", entity="Microsoft",
+      category="advertising", tracking=True, archetype="pixel",
+      script_host="bat.bing.com", script_path="/bat.js",
+      cookies=(C("_uetsid", "uet_sid", 1 * DAY),
+               C("_uetvid", "uet_vid", 390 * DAY)),
+      steal_targets=("_ga", "_gid", "_gcl_au", "gaconnector_GA_Client_ID",
+                     "gaconnector_GA_Session_ID", "_yjsu_yjad"),
+      steal_prob=0.095, harvest_prob=0.066,
+      destinations=("clarity.ms",),
+      overwrite_targets=("MUID",), overwrite_prob=0.03,
+      popularity=12.0),
+
+    S(key="clarity", domain="clarity.ms", entity="Microsoft",
+      category="analytics", tracking=True, archetype="analytics",
+      script_host="www.clarity.ms", script_path="/tag/clarity.js",
+      cookies=(C("_clck", "generic_id", 390 * DAY),
+               C("_clsk", "generic_id", 1 * DAY)),
+      steal_targets=("_ga",), steal_prob=0.063, destinations=("bing.com",),
+      popularity=7.0),
+
+    S(key="microsoft-sso", domain="microsoft.com", entity="Microsoft",
+      category="sso", tracking=False, archetype="sso_provider",
+      script_host="login.microsoft.com", script_path="/oauth/sso.js",
+      cookies=(C("MSFPC", "uuid", 390 * DAY),), popularity=3.0),
+
+    S(key="live-sso", domain="live.com", entity="Microsoft",
+      category="sso", tracking=False, archetype="sso_provider",
+      script_host="login.live.com", script_path="/sso/auth.js",
+      cookies=(C("MSPOK", "generic_id", 30 * DAY),), popularity=2.0),
+
+    # ------------------------------------------------------------------
+    # Meta
+    # ------------------------------------------------------------------
+    S(key="facebook-pixel", domain="facebook.net", entity="Meta",
+      category="social", tracking=True, archetype="pixel",
+      script_host="connect.facebook.net", script_path="/en_US/fbevents.js",
+      cookies=(C("_fbp", "fbp", 90 * DAY), C("_fbc", "fbc", 90 * DAY)),
+      steal_targets=("_ga", "_gcl_au"), steal_prob=0.074, harvest_prob=0.055,
+      destinations=("facebook.com",), popularity=15.0),
+
+    S(key="fbcdn-widget", domain="fbcdn.net", entity="Meta",
+      category="cdn", tracking=False, archetype="cdn_widget",
+      script_host="static.fbcdn.net", script_path="/messenger/widget.js",
+      cookies=(C("presence", "generic_id", 30 * DAY),), popularity=1.5),
+
+    # ------------------------------------------------------------------
+    # The LinkedIn insight-tag case study (§5.4): targeted parsing of
+    # ``_ga`` segments, Base64-encoded, shipped to px.ads.linkedin.com.
+    # ------------------------------------------------------------------
+    S(key="linkedin-insight", domain="licdn.com", entity="LinkedIn",
+      category="advertising", tracking=True, archetype="pixel",
+      script_host="snap.licdn.com", script_path="/li.lms-analytics/insight.min.js",
+      collect_host="px.ads.linkedin.com",
+      cookies=(C("li_fat_id", "uuid", 30 * DAY),),
+      steal_targets=("_ga", "_gcl_au", "_fplc", "FPAU"), steal_prob=0.186, harvest_prob=0.083,
+      encode="b64", destinations=("linkedin.com",), popularity=8.0),
+
+    # ------------------------------------------------------------------
+    # Criteo / Pubmatic — the cto_bundle collusion-or-competition case.
+    # criteo.com creates cto_bundle; criteo.net (same entity, different
+    # eTLD+1) refreshes it; pubmatic.com clobbers it outright.
+    # ------------------------------------------------------------------
+    S(key="criteo-onetag", domain="criteo.com", entity="Criteo",
+      category="advertising", tracking=True, archetype="ad_exchange",
+      script_host="dynamic.criteo.com", script_path="/js/ld/ld.js",
+      collect_host="sslwidget.criteo.com",
+      cookies=(C("cto_bundle", "cto_bundle", 390 * DAY),),
+      steal_prob=0.074, harvest_prob=0.066,
+      destinations=("criteo.net",), popularity=9.0),
+
+    S(key="criteo-sync", domain="criteo.net", entity="Criteo",
+      category="advertising", tracking=True, archetype="pixel",
+      script_host="static.criteo.net", script_path="/js/px.js",
+      cookies=(),
+      steal_targets=("_fbp", "cto_bundle"),
+      steal_prob=0.087,
+      overwrite_targets=("cto_bundle", "user_id", "visitor_id"),
+      overwrite_prob=0.267,
+      delete_targets=("cto_bundle",), delete_prob=0.05,
+      destinations=("criteo.com",), popularity=6.0),
+
+    S(key="pubmatic", domain="pubmatic.com", entity="PubMatic",
+      category="advertising", tracking=True, archetype="ad_exchange",
+      script_host="ads.pubmatic.com", script_path="/AdServer/js/pwt.js",
+      cookies=(C("PugT", "lotame_check", 30 * DAY),
+               C("SPugT", "lotame_check", 30 * DAY)),
+      steal_prob=0.074, harvest_prob=0.066,
+      overwrite_targets=("cto_bundle",), overwrite_prob=0.178,
+      destinations=("magnite.com", "liadm.com"), popularity=8.0),
+
+    S(key="openx", domain="openx.net", entity="OpenX",
+      category="advertising", tracking=True, archetype="ad_exchange",
+      script_host="us-u.openx.net", script_path="/w/1.0/jstag",
+      cookies=(C("i", "uuid", 390 * DAY), C("pd", "generic_id", 390 * DAY)),
+      steal_prob=0.074, harvest_prob=0.066,
+      destinations=("amazon-adsystem.com", "liadm.com"), popularity=7.0),
+
+    S(key="amazon-adsystem", domain="amazon-adsystem.com", entity="Amazon",
+      category="advertising", tracking=True, archetype="ad_exchange",
+      script_host="c.amazon-adsystem.com", script_path="/aax2/apstag.js",
+      cookies=(C("ad-id", "generic_id", 190 * DAY),),
+      steal_prob=0.074, harvest_prob=0.11,
+      destinations=("amazon.com",), popularity=10.0),
+
+    S(key="taboola", domain="taboola.com", entity="Taboola",
+      category="advertising", tracking=True, archetype="ad_exchange",
+      script_host="cdn.taboola.com", script_path="/libtrc/loader.js",
+      cookies=(C("t_gid", "uuid", 390 * DAY),),
+      steal_targets=("SPugT", "_yjsu_yjad"), steal_prob=0.074, harvest_prob=0.088,
+      destinations=("taboola.com",), popularity=6.0),
+
+    S(key="adthrive", domain="adthrive.com", entity="AdThrive",
+      category="advertising", tracking=True, archetype="ad_exchange",
+      script_host="ads.adthrive.com", script_path="/sites/ads.min.js",
+      cookies=(C("adthrive_cls", "generic_id", 30 * DAY),),
+      steal_targets=("i", "pd", "SPugT", "PugT"), steal_prob=0.074, harvest_prob=0.099,
+      destinations=("cloudfront.net",), popularity=5.0),
+
+    S(key="mediavine", domain="mediavine.com", entity="Mediavine",
+      category="advertising", tracking=True, archetype="ad_exchange",
+      script_host="scripts.mediavine.com", script_path="/tags/site.js",
+      cookies=(C("mv_tokens", "generic_id", 30 * DAY),),
+      steal_targets=("i", "pd", "sc_is_visitor_unique"), steal_prob=0.074, harvest_prob=0.077,
+      destinations=("amazon-adsystem.com",), popularity=5.0),
+
+    S(key="pub-network", domain="pub.network", entity="Freestar",
+      category="advertising", tracking=True, archetype="ad_exchange",
+      script_host="a.pub.network", script_path="/core/pubfig.min.js",
+      cookies=(C("fs_uid", "uuid", 390 * DAY),),
+      steal_prob=0.074, harvest_prob=0.077,
+      destinations=("liadm.com",), popularity=4.0),
+
+    S(key="mountain", domain="mountain.com", entity="Mountain",
+      category="advertising", tracking=True, archetype="pixel",
+      script_host="dx.mountain.com", script_path="/spx.js",
+      cookies=(C("mtn_id", "uuid", 390 * DAY),),
+      steal_targets=("_ga", "_uetvid"), destinations=("mountain.com",),
+      steal_prob=0.087, harvest_prob=0.055,
+      popularity=3.5),
+
+    S(key="script-ac", domain="script.ac", entity="script.ac",
+      category="advertising", tracking=True, archetype="pixel",
+      script_host="cdn.script.ac", script_path="/s.js",
+      cookies=(C("sac_id", "generic_id", 190 * DAY),),
+      steal_targets=("PugT", "_ga"),
+      steal_prob=0.087, harvest_prob=0.055,
+      overwrite_targets=("cto_bundle",), overwrite_prob=0.107,
+      destinations=("yandex.ru",), popularity=3.5),
+
+    S(key="liveintent", domain="liadm.com", entity="LiveIntent",
+      category="advertising", tracking=True, harvest_prob=0.077, archetype="pixel",
+      script_host="b-code.liadm.com", script_path="/lc2.min.js",
+      cookies=(C("_li_dcdm_c", "generic_id", 30 * DAY),
+               C("_lc2_fpi", "uuid", 390 * DAY)),
+      steal_targets=("i", "pd", "lotame_domain_check", "us_privacy",
+                     "sc_is_visitor_unique"),
+      destinations=("liveintent.com",), popularity=3.0),
+
+    S(key="33across", domain="33across.com", entity="33Across",
+      category="advertising", tracking=True, archetype="ad_exchange",
+      script_host="cdn.33across.com", script_path="/ht.js",
+      cookies=(C("33x_id", "uuid", 390 * DAY),),
+      harvest_prob=0.044,
+      steal_targets=("us_privacy",),
+      steal_prob=0.087,
+      delete_targets=("_cookie_test",), delete_prob=0.101,
+      destinations=("lexicon.33across.com",), popularity=3.0),
+
+    # ------------------------------------------------------------------
+    # Analytics & performance vendors
+    # ------------------------------------------------------------------
+    S(key="yandex-metrika", domain="yandex.ru", entity="Yandex",
+      category="analytics", tracking=True, archetype="analytics",
+      script_host="mc.yandex.ru", script_path="/metrika/tag.js",
+      cookies=(C("_ym_uid", "ym_uid", 390 * DAY),
+               C("_ym_d", "lotame_check", 390 * DAY)),
+      steal_targets=("_ga", "_gid", "__utma", "__utmb", "__utmz"),
+      steal_prob=0.084, harvest_prob=0.088,
+      destinations=("yandex.ru",), popularity=8.0),
+
+    S(key="pinterest-tag", domain="pinimg.com", entity="Pinterest",
+      category="social", tracking=True, archetype="pixel",
+      script_host="s.pinimg.com", script_path="/ct/core.js",
+      collect_host="ct.pinterest.com",
+      cookies=(C("_pin_unauth", "uuid", 390 * DAY),),
+      steal_targets=("_ga", "_gid", "_gcl_au"), steal_prob=0.074, harvest_prob=0.055,
+      destinations=("pinterest.com",), popularity=7.0),
+
+    S(key="hubspot", domain="hubspot.com", entity="HubSpot",
+      category="analytics", tracking=True, archetype="analytics",
+      script_host="js.hubspot.com", script_path="/analytics.js",
+      collect_host="track.hubspot.com",
+      cookies=(C("hubspotutk", "hex_32", 180 * DAY),
+               C("__hstc", "hstc", 180 * DAY)),
+      steal_targets=("_ga", "_gid", "_gcl_au", "gaconnector_GA_Client_ID",
+                     "gaconnector_GA_Session_ID", "_mkto_trk"),
+      steal_prob=0.095, harvest_prob=0.154,
+      destinations=("hubspot.com",), popularity=7.0),
+
+    S(key="hsforms", domain="hsforms.net", entity="HubSpot",
+      category="widget", tracking=True, archetype="pixel",
+      script_host="js.hsforms.net", script_path="/forms/embed/v2.js",
+      cookies=(C("__hsfp", "generic_id", 180 * DAY),),
+      steal_targets=("_ga", "hubspotutk"), steal_prob=0.095, harvest_prob=0.121,
+      destinations=("hubspot.com",), popularity=4.0),
+
+    S(key="hscollectedforms", domain="hscollectedforms.net", entity="HubSpot",
+      category="widget", tracking=True, archetype="pixel",
+      script_host="js.hscollectedforms.net", script_path="/collectedforms.js",
+      cookies=(),
+      steal_targets=("_ga", "hubspotutk", "__hstc"), steal_prob=0.095, harvest_prob=0.121,
+      destinations=("hubspot.com",), popularity=4.0),
+
+    S(key="hsleadflows", domain="hsleadflows.net", entity="HubSpot",
+      category="widget", tracking=True, archetype="pixel",
+      script_host="js.hsleadflows.net", script_path="/leadflows.js",
+      cookies=(),
+      steal_targets=("_ga", "__hstc"), steal_prob=0.095, harvest_prob=0.11,
+      destinations=("hubspot.com",), popularity=3.5),
+
+    S(key="usemessages", domain="usemessages.com", entity="HubSpot",
+      category="widget", tracking=True, archetype="pixel",
+      script_host="js.usemessages.com", script_path="/conversations-embed.js",
+      cookies=(C("messagesUtk", "uuid", 180 * DAY),),
+      steal_targets=("_ga", "hubspotutk"), steal_prob=0.095, harvest_prob=0.11,
+      destinations=("hubspot.com",), popularity=3.5),
+
+    S(key="segment", domain="segment.com", entity="Segment.io",
+      category="analytics", tracking=True, archetype="analytics",
+      script_host="cdn.segment.com", script_path="/analytics.js/v1/analytics.min.js",
+      cookies=(C("ajs_anonymous_id", "ajs_anonymous_id", 390 * DAY),
+               C("ajs_user_id", "uuid", 390 * DAY)),
+      steal_targets=("_ga",),
+      steal_prob=0.087,
+      overwrite_targets=("_fbp", "_uetvid", "_uetsid", "_ga", "user_id",
+                         "session_id"),
+      overwrite_prob=0.178,
+      delete_targets=("ajs_user_id", "_uetvid"), delete_prob=0.036,
+      destinations=("segment.io",), popularity=6.0),
+
+    S(key="tealium", domain="tiqcdn.com", entity="Tealium",
+      category="tag_manager", tracking=True, archetype="tag_manager",
+      script_host="tags.tiqcdn.com", script_path="/utag/main/prod/utag.js",
+      cookies=(C("utag_main", "utag_main", 390 * DAY),),
+      overwrite_targets=("_uetvid", "_uetsid", "user_id"), overwrite_prob=0.296,
+      delete_targets=("_uetvid", "_uetsid"), delete_prob=0.086,
+      children=("facebook-pixel", "bing-uet", "doubleclick", "hotjar",
+                "segment", "criteo-onetag"),
+      child_count=(1, 4), popularity=4.0),
+
+    S(key="adobe-launch", domain="adobedtm.com", entity="Adobe",
+      category="tag_manager", tracking=True, archetype="tag_manager",
+      script_host="assets.adobedtm.com", script_path="/launch.min.js",
+      cookies=(C("AMCV_site", "generic_id", 2 * YEAR),),
+      steal_targets=("_gcl_au", "_yjsu_yjad", "__utma"),
+      steal_prob=0.087,
+      overwrite_targets=("OptanonConsent", "utag_main"), overwrite_prob=0.19,
+      delete_targets=("_uetvid",), delete_prob=0.043,
+      children=("doubleclick", "facebook-pixel", "demdex"),
+      child_count=(1, 2),
+      destinations=("demdex.net",), popularity=4.0),
+
+    S(key="demdex", domain="demdex.net", entity="Adobe",
+      category="advertising", tracking=True, archetype="pixel",
+      script_host="dpm.demdex.net", script_path="/id.js",
+      cookies=(C("demdex", "uuid", 180 * DAY),),
+      steal_targets=("_mkto_trk", "AMCV_site"),
+      steal_prob=0.087,
+      destinations=("adobe.com",), popularity=2.5),
+
+    S(key="sentry", domain="sentry-cdn.com", entity="Functional Software",
+      category="performance", tracking=True, archetype="analytics",
+      script_host="js.sentry-cdn.com", script_path="/bundle.min.js",
+      cookies=(C("sentry_sid", "uuid", 1 * DAY),),
+      overwrite_targets=("_fbp", "ajs_anonymous_id", "ajs_user_id"),
+      overwrite_prob=0.296,
+      delete_targets=("ajs_user_id",), delete_prob=0.05,
+      popularity=5.0),
+
+    S(key="newrelic", domain="newrelic.com", entity="New Relic",
+      category="performance", tracking=True, archetype="analytics",
+      script_host="js-agent.newrelic.com", script_path="/nr-loader.min.js",
+      cookies=(C("NRBA_SESSION", "uuid", 1 * DAY),),
+      overwrite_targets=("OptanonConsent", "session_id"), overwrite_prob=0.237,
+      popularity=4.5),
+
+    S(key="hotjar", domain="hotjar.com", entity="Hotjar",
+      category="analytics", tracking=True, archetype="analytics",
+      script_host="static.hotjar.com", script_path="/c/hotjar.js",
+      cookies=(C("_hjSessionUser", "uuid", 390 * DAY),),
+      popularity=5.0),
+
+    S(key="dynatrace", domain="dynatrace.com", entity="Dynatrace",
+      category="performance", tracking=True, archetype="analytics",
+      script_host="js.dynatrace.com", script_path="/jstag.js",
+      cookies=(C("dtCookie", "generic_id", 1 * DAY),),
+      overwrite_targets=("rxVisitor", "session_id"), overwrite_prob=0.207,
+      popularity=2.5),
+
+    S(key="mpulse", domain="go-mpulse.net", entity="Akamai",
+      category="performance", tracking=True, archetype="analytics",
+      script_host="c.go-mpulse.net", script_path="/boomerang/config.js",
+      cookies=(C("RT", "generic_id", 7 * DAY),),
+      overwrite_targets=("RT", "dtCookie"), overwrite_prob=0.148,
+      popularity=2.5),
+
+    S(key="vwo", domain="visualwebsiteoptimizer.com", entity="Wingify",
+      category="widget", tracking=True, archetype="widget",
+      script_host="dev.visualwebsiteoptimizer.com", script_path="/lib/va.js",
+      cookies=(C("_vwo_uuid", "uuid", 390 * DAY),
+               C("_vis_opt_test", "short_flag", 100 * DAY)),
+      overwrite_targets=("_vis_opt_test", "visitor_id"), overwrite_prob=0.119,
+      popularity=3.0),
+
+    S(key="cxense", domain="cxense.com", entity="Piano",
+      category="analytics", tracking=True, archetype="widget",
+      script_host="cdn.cxense.com", script_path="/cx.js",
+      cookies=(C("_cookie_test", "short_flag", 1 * DAY),
+               C("cX_P", "generic_id", 390 * DAY)),
+      delete_targets=("_cookie_test",), delete_prob=0.144,
+      popularity=2.0),
+
+    S(key="optable", domain="optable.co", entity="Optable",
+      category="advertising", tracking=True, archetype="widget",
+      script_host="cdn.optable.co", script_path="/sdk.js",
+      cookies=(C("_cookie_test", "short_flag", 1 * DAY),
+               C("optable_vid", "uuid", 390 * DAY)),
+      delete_targets=("_cookie_test",), delete_prob=0.18,
+      popularity=1.5),
+
+    S(key="ezoic", domain="ezodn.com", entity="Ezoic",
+      category="advertising", tracking=True, archetype="ad_exchange",
+      script_host="go.ezodn.com", script_path="/hb/dall.js",
+      cookies=(C("ezoadgid", "generic_id", 30 * DAY),),
+      steal_prob=0.15, harvest_prob=0.055,
+      overwrite_targets=("ezoadgid", "__gads"), overwrite_prob=0.119,
+      destinations=("doubleclick.net",), popularity=3.0),
+
+    S(key="crwdcntrl", domain="crwdcntrl.net", entity="Lotame",
+      category="advertising", tracking=True, archetype="pixel",
+      script_host="tags.crwdcntrl.net", script_path="/lt/c/lotame.min.js",
+      cookies=(C("lotame_domain_check", "lotame_check", 1 * DAY),),
+      steal_targets=("_ga",),
+      steal_prob=0.087,
+      overwrite_targets=("lotame_domain_check",), overwrite_prob=0.148,
+      destinations=("amazon-adsystem.com", "hadronid.net"), popularity=2.5),
+
+    S(key="qualtrics", domain="qualtrics.com", entity="Qualtrics",
+      category="widget", tracking=True, archetype="widget",
+      script_host="zn.qualtrics.com", script_path="/SI/Global.js",
+      cookies=(C("QSI_SI", "uuid", 180 * DAY),),
+      delete_targets=("QSI_SI", "_cookie_test"), delete_prob=0.058,
+      popularity=2.0),
+
+    S(key="snap-pixel", domain="sc-static.net", entity="Snap",
+      category="social", tracking=True, archetype="pixel",
+      script_host="sc-static.net", script_path="/scevent.min.js",
+      collect_host="tr.snapchat.com",
+      cookies=(C("_scid", "uuid", 390 * DAY),),
+      steal_targets=("_ga",),
+      steal_prob=0.087,
+      delete_targets=("_screload",), delete_prob=0.13,
+      destinations=("snapchat.com",), popularity=4.0),
+
+    S(key="snap-sdk", domain="snapchat.com", entity="Snap",
+      category="social", tracking=True, archetype="widget",
+      script_host="app.snapchat.com", script_path="/web/deeplink.js",
+      cookies=(C("_screload", "generic_id", 1 * DAY),),
+      popularity=1.5),
+
+    S(key="tiktok-pixel", domain="tiktok.com", entity="TikTok",
+      category="social", tracking=True, archetype="pixel",
+      script_host="analytics.tiktok.com", script_path="/i18n/pixel/events.js",
+      cookies=(C("_ttp", "generic_id", 390 * DAY),),
+      steal_targets=("_ga", "_gcl_au"), steal_prob=0.074,
+      destinations=("tiktok.com",), popularity=5.0),
+
+    S(key="marketo", domain="marketo.net", entity="Marketo",
+      category="analytics", tracking=True, archetype="analytics",
+      script_host="munchkin.marketo.net", script_path="/munchkin.js",
+      cookies=(C("_mkto_trk", "mkto_trk", 2 * YEAR),),
+      popularity=3.0),
+
+    S(key="gaconnector", domain="gaconnector.com", entity="GA Connector",
+      category="analytics", tracking=True, archetype="analytics",
+      script_host="tracker.gaconnector.com", script_path="/gaconnector.js",
+      cookies=(C("gaconnector_GA_Client_ID", "ga_client_id", 2 * YEAR),
+               C("gaconnector_GA_Session_ID", "ga_session_id", 30 * 60.0)),
+      steal_targets=("_ga", "_gid"),
+      steal_prob=0.087,
+      destinations=("hubspot.com", "microsoft.com"), popularity=2.0),
+
+    S(key="statcounter", domain="statcounter.com", entity="StatCounter",
+      category="analytics", tracking=True, archetype="analytics",
+      script_host="c.statcounter.com", script_path="/counter.js",
+      cookies=(C("sc_is_visitor_unique", "lotame_check", 2 * YEAR),),
+      popularity=2.5),
+
+    S(key="yahoo-japan", domain="yimg.jp", entity="Yahoo Japan",
+      category="advertising", tracking=True, archetype="pixel",
+      script_host="s.yimg.jp", script_path="/images/listing/tool/cv/ytag.js",
+      cookies=(C("_yjsu_yjad", "lotame_check", 390 * DAY),),
+      steal_targets=("_ga",),
+      steal_prob=0.087,
+      destinations=("yahoo.co.jp",), popularity=2.5),
+
+    S(key="cloudfront-sdk", domain="cloudfront.net", entity="Amazon",
+      category="advertising", tracking=True, archetype="pixel",
+      script_host="d1af033869koo7.cloudfront.net", script_path="/sdk.js",
+      cookies=(C("cf_uvid", "uuid", 390 * DAY),),
+      steal_targets=("_ga", "i", "pd"),
+      steal_prob=0.087, harvest_prob=0.077,
+      overwrite_targets=("cf_uvid", "_gid"), overwrite_prob=0.119,
+      delete_targets=("cf_uvid",), delete_prob=0.043,
+      destinations=("amazon-adsystem.com",), popularity=3.5),
+
+    # ------------------------------------------------------------------
+    # Consent management platforms (Table 5's deleters + the Osano case)
+    # ------------------------------------------------------------------
+    S(key="onetrust", domain="cookielaw.org", entity="OneTrust",
+      category="cmp", tracking=True, archetype="cmp",
+      script_host="cdn.cookielaw.org", script_path="/scripttemplates/otSDKStub.js",
+      cookies=(C("OptanonConsent", "optanon_consent", 390 * DAY),
+               C("OptanonAlertBoxClosed", "lotame_check", 390 * DAY)),
+      delete_targets=("_fbp", "_uetvid"), delete_prob=0.043,
+      popularity=4.5),
+
+    S(key="osano", domain="osano.com", entity="Osano",
+      category="cmp", tracking=True, archetype="cmp",
+      script_host="cmp.osano.com", script_path="/1vX3GkPazR/osano.js",
+      cookies=(C("osano_consentmanager", "uuid", 390 * DAY),),
+      steal_targets=("_fbp",),
+      steal_prob=0.087, harvest_prob=0.044,
+      destinations=("sslwidget.criteo.com",),  # the §5.4 case study
+      delete_targets=("_fbp",), delete_prob=0.043,
+      popularity=2.2),
+
+    S(key="cookieyes", domain="cdn-cookieyes.com", entity="CookieYes",
+      category="cmp", tracking=True, archetype="cmp",
+      script_host="cdn-cookieyes.com", script_path="/client_data/cookieyes.js",
+      cookies=(C("cookieyes-consent", "generic_id", 390 * DAY),),
+      delete_targets=("_ga", "_fbp", "_gid", "_gcl_au", "_uetvid", "_uetsid",
+                      "_scid", "_ttp", "_pin_unauth", "ajs_anonymous_id",
+                      "cto_bundle", "_clck", "t_gid", "user_id",
+                      "visitor_id"), delete_prob=0.288,
+      popularity=2.4),
+
+    S(key="cookie-script", domain="cookie-script.com", entity="Cookie-Script",
+      category="cmp", tracking=True, archetype="cmp",
+      script_host="cdn.cookie-script.com", script_path="/s/cs.js",
+      cookies=(C("CookieScriptConsent", "generic_id", 30 * DAY),),
+      delete_targets=("_uetvid", "_uetsid", "_ga", "_fbp", "_gcl_au", "_ym_uid",
+                      "_ym_d", "__gads", "_clck", "_clsk", "hubspotutk",
+                      "session_id", "user_id"),
+      delete_prob=0.259, popularity=2.1),
+
+    S(key="civiccomputing", domain="civiccomputing.com", entity="Civic Computing",
+      category="cmp", tracking=True, archetype="cmp",
+      script_host="cc.cdn.civiccomputing.com", script_path="/9/cookieControl-9.x.min.js",
+      cookies=(C("CookieControl", "generic_id", 90 * DAY),),
+      delete_targets=("_ga", "_gid", "_fbp", "_uetvid", "__hstc", "_hjSessionUser"),
+      delete_prob=0.216,
+      popularity=1.3),
+
+    S(key="cookiebot", domain="cookiebot.com", entity="Cybot ApS",
+      category="cmp", tracking=True, archetype="cmp",
+      script_host="consent.cookiebot.com", script_path="/uc.js",
+      cookies=(C("CookieConsent", "generic_id", 390 * DAY),),
+      overwrite_targets=("_gcl_au",), overwrite_prob=0.178,
+      delete_targets=("_fbp", "_uetvid"), delete_prob=0.144,
+      popularity=1.8),
+
+    S(key="ketch", domain="ketchjs.com", entity="Ketch",
+      category="cmp", tracking=True, archetype="cmp",
+      script_host="cdn.ketchjs.com", script_path="/web/v2/config/boot.js",
+      cookies=(C("us_privacy", "us_privacy", 390 * DAY),),
+      popularity=2.5),
+
+    # ------------------------------------------------------------------
+    # Functional utility libraries — the non-tracking ~30% of scripts.
+    # ------------------------------------------------------------------
+    S(key="jquery-cdn", domain="jquery.com", entity="OpenJS Foundation",
+      category="library", tracking=False, archetype="library",
+      script_host="code.jquery.com", script_path="/jquery-3.7.1.min.js",
+      popularity=32.0),
+
+    S(key="jsdelivr", domain="jsdelivr.net", entity="jsDelivr",
+      category="library", tracking=False, archetype="library",
+      script_host="cdn.jsdelivr.net", script_path="/npm/bootstrap/dist/js/bootstrap.bundle.min.js",
+      popularity=25.0),
+
+    S(key="cdnjs", domain="cloudflare.com", entity="Cloudflare",
+      category="library", tracking=False, archetype="library",
+      script_host="cdnjs.cloudflare.com", script_path="/ajax/libs/lodash.js/4.17.21/lodash.min.js",
+      popularity=23.0),
+
+    S(key="google-fonts", domain="googleapis.com", entity="Google",
+      category="library", tracking=False, archetype="library",
+      script_host="fonts.googleapis.com", script_path="/css2-loader.js",
+      popularity=28.0),
+
+    S(key="unpkg", domain="unpkg.com", entity="Cloudflare",
+      category="library", tracking=False, archetype="library",
+      script_host="unpkg.com", script_path="/react@18/umd/react.production.min.js",
+      popularity=15.0),
+
+    S(key="bootstrapcdn", domain="bootstrapcdn.com", entity="StackPath",
+      category="library", tracking=False, archetype="library",
+      script_host="stackpath.bootstrapcdn.com", script_path="/bootstrap/4.6.2/js/bootstrap.min.js",
+      popularity=13.0),
+
+    S(key="polyfill", domain="polyfill-fastly.io", entity="Fastly",
+      category="library", tracking=False, archetype="library",
+      script_host="polyfill-fastly.io", script_path="/v3/polyfill.min.js",
+      popularity=11.0),
+
+    S(key="recaptcha", domain="gstatic.com", entity="Google",
+      category="library", tracking=False, archetype="library",
+      script_host="www.gstatic.com", script_path="/recaptcha/releases/api.js",
+      popularity=17.0),
+
+    # ------------------------------------------------------------------
+    # Smaller exfiltrators that give Table 2 its long entity tail
+    # ------------------------------------------------------------------
+    S(key="envybox", domain="envybox.io", entity="Envybox",
+      category="widget", tracking=True, archetype="pixel",
+      script_host="cdn.envybox.io", script_path="/widget/cbk.js",
+      cookies=(C("envybox_id", "uuid", 390 * DAY),),
+      steal_targets=("__utmb", "__utmz", "_ym_d"),
+      steal_prob=0.087,
+      destinations=("envybox.io",), popularity=1.2),
+
+    S(key="c99", domain="c99.ai", entity="c99.ai",
+      category="advertising", tracking=True, archetype="pixel",
+      script_host="t.c99.ai", script_path="/t.js",
+      cookies=(C("c99_vid", "uuid", 390 * DAY),),
+      steal_targets=("_mkto_trk", "_fbp"),
+      steal_prob=0.087,
+      destinations=("insent.ai",), popularity=1.2),
+
+    S(key="mango-office", domain="mango-office.ru", entity="Mango Office",
+      category="widget", tracking=True, archetype="pixel",
+      script_host="widgets.mango-office.ru", script_path="/widgets/mango.js",
+      cookies=(C("mango_vid", "uuid", 390 * DAY),),
+      steal_targets=("_ym_d", "_ym_uid"),
+      steal_prob=0.087,
+      destinations=("mango-office.ru",), popularity=1.0),
+
+    S(key="hadronid", domain="hadronid.net", entity="Audigent",
+      category="advertising", tracking=True, archetype="pixel",
+      script_host="id.hadronid.net", script_path="/hadron.js",
+      cookies=(C("hadron_id", "uuid", 390 * DAY),),
+      steal_targets=("lotame_domain_check",),
+      steal_prob=0.087,
+      destinations=("crwdcntrl.net",), popularity=1.0),
+
+    S(key="exco", domain="ex.co", entity="EX.CO",
+      category="advertising", tracking=True, archetype="pixel",
+      script_host="player.ex.co", script_path="/player.js",
+      cookies=(C("exco_id", "uuid", 390 * DAY),),
+      steal_targets=("us_privacy",),
+      steal_prob=0.087,
+      destinations=("33across.com", "anview.com"), popularity=1.2),
+
+    S(key="tradehouse", domain="tradehouse.media", entity="Tradehouse",
+      category="advertising", tracking=True, archetype="pixel",
+      script_host="cdn.tradehouse.media", script_path="/th.js",
+      cookies=(C("th_uid", "uuid", 390 * DAY),),
+      steal_targets=("us_privacy", "_ga"),
+      steal_prob=0.087,
+      destinations=("anview.com", "liadm.com"), popularity=1.0),
+
+    S(key="salesforce-mc", domain="salesforce.com", entity="Salesforce.com",
+      category="analytics", tracking=True, archetype="pixel",
+      script_host="c.salesforce.com", script_path="/beacon.js",
+      cookies=(C("igodigital", "uuid", 390 * DAY),),
+      steal_targets=("_fbp",),
+      steal_prob=0.087,
+      destinations=("salesforce.com",), popularity=1.5),
+
+    S(key="olark", domain="olark.com", entity="Olark",
+      category="widget", tracking=True, archetype="widget",
+      script_host="static.olark.com", script_path="/jsclient/loader.js",
+      cookies=(C("olark_vid", "uuid", 180 * DAY),
+               C("user_id", "generic_id", 180 * DAY)),
+      overwrite_targets=("_gid", "user_id"), overwrite_prob=0.207,
+      popularity=1.5),
+
+    S(key="intergi", domain="intergi.com", entity="Intergi Entertainment",
+      category="advertising", tracking=True, archetype="ad_exchange",
+      script_host="cdn.intergi.com", script_path="/player.js",
+      cookies=(C("intergi_id", "uuid", 390 * DAY),),
+      steal_prob=0.15, harvest_prob=0.044,
+      overwrite_targets=("_ga", "_gid"), overwrite_prob=0.207,
+      destinations=("magnite.com",), popularity=1.2),
+
+    S(key="sharethis", domain="sharethis.com", entity="ShareThis",
+      category="social", tracking=True, archetype="pixel",
+      script_host="platform-api.sharethis.com", script_path="/js/sharethis.js",
+      cookies=(C("__stid", "uuid", 390 * DAY),),
+      steal_targets=("sc_is_visitor_unique",),
+      steal_prob=0.087,
+      destinations=("sharethis.com",), popularity=1.5),
+
+    # ------------------------------------------------------------------
+    # CookieStore API deployments (§5.2: ~90% is _awl + keep_alive)
+    # ------------------------------------------------------------------
+    S(key="shopify-perf", domain="shopifycloud.com", entity="Shopify",
+      category="performance", tracking=False, archetype="cookie_store_sdk",
+      script_host="cdn.shopifycloud.com",
+      script_path="/perf-kit/shopify-perf-kit-1.6.2.min.js",
+      cookies=(C("keep_alive", "keep_alive", 30 * 60.0, api="cookieStore"),),
+      popularity=3.0),
+
+    S(key="admiral", domain="getadmiral.com", entity="Admiral",
+      category="advertising", tracking=True, archetype="cookie_store_sdk",
+      script_host="cdn.getadmiral.com", script_path="/admiral.js",
+      cookies=(C("_awl", "awl", 7 * DAY, api="cookieStore"),),
+      popularity=1.8),
+
+    # ------------------------------------------------------------------
+    # SSO / identity
+    # ------------------------------------------------------------------
+    S(key="okta", domain="okta.com", entity="Okta",
+      category="sso", tracking=False, archetype="sso_provider",
+      script_host="global.okta.com", script_path="/okta-signin-widget.js",
+      cookies=(C("okta_dt", "uuid", 390 * DAY),), popularity=1.5),
+
+    S(key="facebook-sso", domain="facebook.com", entity="Meta",
+      category="sso", tracking=False, archetype="sso_provider",
+      script_host="www.facebook.com", script_path="/connect/login.js",
+      cookies=(C("fb_login_hint", "generic_id", 30 * DAY),), popularity=2.0),
+
+    # ------------------------------------------------------------------
+    # DOM modifiers (§8 pilot)
+    # ------------------------------------------------------------------
+    S(key="adblock-recovery", domain="blockthrough.com", entity="Blockthrough",
+      category="advertising", tracking=True, archetype="dom_modifier",
+      script_host="cdn.blockthrough.com", script_path="/bt.js",
+      cookies=(C("bt_vid", "uuid", 30 * DAY),),
+      steal_targets=("_ga",), steal_prob=0.087, popularity=1.2),
+
+    S(key="affiliate-rewriter", domain="viglink.com", entity="Sovrn",
+      category="advertising", tracking=True, archetype="dom_modifier",
+      script_host="cdn.viglink.com", script_path="/api/vglnk.js",
+      cookies=(C("vglnk_id", "uuid", 390 * DAY),),
+      popularity=1.5),
+)
+
+SSO_PROVIDER_KEYS: Tuple[str, ...] = tuple(
+    s.key for s in NAMED_SERVICES if s.category == "sso")
+TAG_MANAGER_KEYS: Tuple[str, ...] = tuple(
+    s.key for s in NAMED_SERVICES if s.category == "tag_manager")
+
+# ---------------------------------------------------------------------------
+# Generic long tail
+# ---------------------------------------------------------------------------
+
+_GENERIC_PREFIXES = (
+    "pixel", "track", "metric", "adnet", "tag", "beacon", "insight",
+    "audience", "reach", "signal", "datapoint", "funnel", "attribution",
+    "retarget", "segmenta", "bidstream", "adserve", "sync", "collect",
+    "telemetry",
+)
+_GENERIC_SUFFIXES = ("hub", "ly", "io-cdn", "wave", "labs", "flow", "grid",
+                     "works", "metrics", "zone")
+_GENERIC_TLDS = ("com", "io", "net", "co", "media", "tech")
+
+_POPULAR_NAMES_POOL = ("_ga", "_gid", "_gcl_au", "_fbp", "_uetvid",
+                       "ajs_anonymous_id", "_ym_uid", "hubspotutk",
+                       "cto_bundle", "us_privacy", "_pin_unauth", "_ttp")
+
+_GENERIC_COLLIDERS = ("cookie_test", "user_id", "session_id", "visitor_id",
+                      "_tccl", "ab_test")
+
+
+def generic_services(count: int = 240, *, tracking_share: float = 0.72,
+                     unlisted_share: float = 0.08) -> List[ServiceSpec]:
+    """Deterministically synthesize the ecosystem's long tail.
+
+    ``tracking_share`` of the generated services behave as trackers
+    (pixels / small ad networks); the rest are functional widgets whose
+    generic cookie names produce the unintentional collisions of §5.5.
+    ``unlisted_share`` of the trackers are *not* covered by the synthetic
+    filter lists (real lists miss trackers too — see Bielova et al.).
+    """
+    out: List[ServiceSpec] = []
+    for index in range(count):
+        prefix = _GENERIC_PREFIXES[index % len(_GENERIC_PREFIXES)]
+        suffix = _GENERIC_SUFFIXES[(index // len(_GENERIC_PREFIXES))
+                                   % len(_GENERIC_SUFFIXES)]
+        tld = _GENERIC_TLDS[index % len(_GENERIC_TLDS)]
+        domain = f"{prefix}{suffix}{index}.{tld}"
+        is_tracker = (index / max(count, 1)) < tracking_share
+        popularity = 2.0 / (1.0 + 0.08 * index)  # zipf-ish decay
+        if is_tracker:
+            steal = tuple(_POPULAR_NAMES_POOL[i % len(_POPULAR_NAMES_POOL)]
+                          for i in range(index % 3 + 1))
+            listed = (index % 5) != 0 or unlisted_share <= 0
+            # A third of the tail are read-only harvesters (set no cookies),
+            # keeping the per-site third-party cookie count near the
+            # paper's 15.
+            own_cookies = () if index % 2 == 1 else (
+                CookieSpec(f"_{prefix}{index}_id", "uuid", YEAR),)
+            out.append(ServiceSpec(
+                key=f"generic-tracker-{index}",
+                domain=domain,
+                entity=f"Entity {prefix.title()}{suffix.title()}{index}",
+                category="advertising",
+                tracking=listed,
+                archetype="pixel",
+                script_host=f"cdn.{domain}", script_path="/t.js",
+                cookies=own_cookies,
+                steal_targets=steal,
+                steal_prob=0.05, harvest_prob=0.022,
+                destinations=(("hubspot.com",) if index % 5 == 0 else
+                              ("amazon-adsystem.com",) if index % 5 == 1 else
+                              ("yandex.ru",) if index % 5 == 2 else
+                              ("liadm.com",) if index % 5 == 3 else
+                              ("microsoft.com",)),
+                overwrite_targets=((_GENERIC_COLLIDERS[index % len(_GENERIC_COLLIDERS)],)
+                                   if index % 4 == 0 else ()),
+                overwrite_prob=0.40 if index % 4 == 0 else 0.0,
+                popularity=popularity,
+            ))
+        else:
+            collider = _GENERIC_COLLIDERS[index % len(_GENERIC_COLLIDERS)]
+            out.append(ServiceSpec(
+                key=f"generic-widget-{index}",
+                domain=domain,
+                entity=f"Entity {prefix.title()}{suffix.title()}{index}",
+                category="widget",
+                tracking=False,
+                archetype="widget",
+                script_host=f"widget.{domain}", script_path="/w.js",
+                cookies=(CookieSpec(collider, "generic_id", 30 * DAY),
+                         CookieSpec(f"{prefix}{index}_pref", "short_flag", YEAR)),
+                delete_targets=(collider,) if index % 8 == 0 else (),
+                delete_prob=0.10 if index % 8 == 0 else 0.0,
+                popularity=popularity * 0.8,
+            ))
+    return out
+
+
+def full_catalog(generic_count: int = 240) -> List[ServiceSpec]:
+    """Named services plus the generated long tail."""
+    return list(NAMED_SERVICES) + generic_services(generic_count)
+
+
+def service_index(services: Optional[Iterable[ServiceSpec]] = None
+                  ) -> Dict[str, ServiceSpec]:
+    """Key → spec lookup table."""
+    if services is None:
+        services = full_catalog()
+    return {service.key: service for service in services}

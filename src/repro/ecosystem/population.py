@@ -1,0 +1,394 @@
+"""The site population sampler (the synthetic Tranco top-20k).
+
+Generates :class:`~repro.ecosystem.site.SiteSpec` instances whose aggregate
+statistics are calibrated to the paper's §5 measurements:
+
+==================================================  =======================
+Paper statistic                                      Config lever
+==================================================  =======================
+93.3% of sites embed ≥1 third-party script           ``p_third_party``
+avg 19 distinct third-party scripts per site         ``direct_median`` ×
+                                                     ``indirect_factor``
+indirect : direct = 2.5×                             ``indirect_factor``
+~70% of scripts are ad/tracking                      catalog popularities
+document.cookie on 96.3% / cookieStore on 2.8%       ``p_no_cookie_site``,
+                                                     ``p_shopify``+``p_admiral``
+crawl retention 14,917 / 20,000                      ``p_crawl_fail``
+SSO breakage 11% → 3% with entity whitelist          ``p_sso`` × flow mix
+cross-domain DOM modification on 9.4% of sites       ``p_dom_modifier``
+==================================================  =======================
+
+Sampling is fully deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .catalog import full_catalog, service_index
+from .services import ServiceSpec
+from .site import FirstPartyConfig, FunctionalDep, SiteSpec, SsoFlow
+
+__all__ = ["PopulationConfig", "Population", "generate_population"]
+
+_WORDS_A = ("shop", "news", "blue", "tech", "daily", "green", "meta", "home",
+            "star", "cloud", "prime", "swift", "nova", "urban", "alpha",
+            "bright", "royal", "hyper", "solid", "lunar")
+_WORDS_B = ("verse", "port", "mart", "press", "base", "nest", "forge",
+            "field", "point", "works", "line", "hub", "gate", "peak",
+            "craft", "space", "lane", "view", "wire", "den")
+_SITE_TLDS = ("com", "com", "com", "net", "org", "io", "co", "de", "co.uk",
+              "fr", "ru", "jp")
+
+#: Real sites wired to the paper's case studies, placed at fixed ranks.
+_SPECIAL_SITES: Tuple[Tuple[int, str], ...] = (
+    (12, "facebook.com"),
+    (48, "zoom.us"),
+    (61, "cnn.com"),
+    (180, "prettylittlething.com"),
+    (240, "optimonk.com"),
+    (310, "goosecreekcandle.com"),
+)
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Every calibration lever in one place."""
+
+    n_sites: int = 20_000
+    seed: int = 2025
+    generic_service_count: int = 240
+    p_crawl_fail: float = 0.254
+    p_third_party: float = 0.933
+    #: Direct third-party inclusions: lognormal median / sigma, clamp.
+    direct_median: float = 5.0
+    direct_sigma: float = 0.55
+    direct_max: int = 16
+    #: Indirect = direct × factor (lognormal around 2.5).
+    indirect_factor: float = 2.5
+    indirect_sigma: float = 0.22
+    p_gtm_boost: float = 0.55          # force googletagmanager presence
+    p_inline: float = 0.82
+    p_no_cookie_site: float = 0.037    # no document.cookie at all
+    p_shopify: float = 0.022
+    p_admiral: float = 0.007
+    p_sso: float = 0.16
+    #: Mix of SSO flow shapes: same-domain, same-entity pair, cross-entity.
+    sso_flow_mix: Tuple[float, float, float] = (0.30, 0.50, 0.20)
+    p_sso_minor: float = 0.08          # minor (cnn.com-style reload loss)
+    p_fp_deletes: float = 0.013
+    p_fp_overwrites: float = 0.080
+    p_fp_self_hosted: float = 0.120
+    p_dom_modifier: float = 0.094      # forced dom_modifier service
+    p_cloaked: float = 0.015
+    p_ads_dep: float = 0.035           # ad slot needing a partner cookie
+    p_widget_dep: float = 0.030        # chat/cart needing first-party cookie
+    p_http_marketing_cookie: float = 0.45
+    p_http_session_httponly: float = 0.85
+
+
+class Population:
+    """The generated population plus its service catalog."""
+
+    def __init__(self, sites: List[SiteSpec], services: Dict[str, ServiceSpec],
+                 config: PopulationConfig):
+        self.sites = sites
+        self.services = services
+        self.config = config
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    def successful_sites(self) -> List[SiteSpec]:
+        return [s for s in self.sites if not s.crawl_fails]
+
+
+def _site_domain(rng: np.random.Generator, rank: int, used: set) -> str:
+    for _ in range(50):
+        a = _WORDS_A[rng.integers(0, len(_WORDS_A))]
+        b = _WORDS_B[rng.integers(0, len(_WORDS_B))]
+        tld = _SITE_TLDS[rng.integers(0, len(_SITE_TLDS))]
+        suffix = "" if rng.random() < 0.5 else str(rng.integers(2, 99))
+        domain = f"{a}{b}{suffix}.{tld}"
+        if domain not in used:
+            used.add(domain)
+            return domain
+    domain = f"site{rank}.com"
+    used.add(domain)
+    return domain
+
+
+def _weighted_sample(rng: np.random.Generator, keys: Sequence[str],
+                     weights: np.ndarray, count: int,
+                     exclude: set) -> List[str]:
+    """Sample ``count`` distinct keys by weight, skipping ``exclude``."""
+    mask = np.array([k not in exclude for k in keys])
+    if not mask.any():
+        return []
+    probs = weights * mask
+    total = probs.sum()
+    if total <= 0:
+        return []
+    probs = probs / total
+    count = min(count, int(mask.sum()))
+    picks = rng.choice(len(keys), size=count, replace=False, p=probs)
+    return [keys[int(i)] for i in picks]
+
+
+def generate_population(config: Optional[PopulationConfig] = None) -> Population:
+    """Generate the synthetic top-N population."""
+    config = config or PopulationConfig()
+    rng = np.random.default_rng(config.seed)
+    services = service_index(full_catalog(config.generic_service_count))
+
+    # Sampling pools (SSO and same-entity CDNs are placed by rule, not by
+    # popularity, so exclude them from the generic pool).
+    pool_keys = [k for k, s in services.items()
+                 if s.category not in ("sso", "cdn")
+                 and s.archetype != "dom_modifier"
+                 and k not in ("shopify-perf", "admiral")]
+    pool_weights = np.array([services[k].popularity for k in pool_keys])
+    loader_keys = {k for k, s in services.items()
+                   if s.category in ("tag_manager",) or s.archetype == "ad_exchange"}
+    sso_keys = [k for k, s in services.items() if s.category == "sso"]
+    dom_modifier_keys = [k for k, s in services.items()
+                         if s.archetype == "dom_modifier"]
+    cloakable_keys = [k for k, s in services.items()
+                      if s.archetype in ("pixel", "analytics") and s.tracking]
+
+    special_by_rank = dict(_SPECIAL_SITES)
+    used_domains = {d for _, d in _SPECIAL_SITES}
+    sites: List[SiteSpec] = []
+
+    for rank in range(1, config.n_sites + 1):
+        domain = special_by_rank.get(rank) or _site_domain(rng, rank, used_domains)
+        site = _generate_site(rng, rank, domain, config, services,
+                              pool_keys, pool_weights, loader_keys,
+                              sso_keys, dom_modifier_keys, cloakable_keys)
+        sites.append(site)
+    return Population(sites, services, config)
+
+
+_ALWAYS_CRAWLABLE = {domain for _rank, domain in _SPECIAL_SITES}
+
+
+def _generate_site(rng, rank, domain, config, services, pool_keys,
+                   pool_weights, loader_keys, sso_keys, dom_modifier_keys,
+                   cloakable_keys) -> SiteSpec:
+    crawl_fails = (rng.random() < config.p_crawl_fail
+                   and domain not in _ALWAYS_CRAWLABLE)
+    has_third_party = rng.random() < config.p_third_party
+    no_cookie_site = rng.random() < config.p_no_cookie_site
+
+    direct: List[str] = []
+    indirect: Dict[str, Tuple[str, ...]] = {}
+    chosen: set = set()
+
+    if has_third_party and not no_cookie_site:
+        n_direct = int(round(float(rng.lognormal(
+            math.log(config.direct_median), config.direct_sigma))))
+        n_direct = max(1, min(n_direct, config.direct_max))
+        if rng.random() < config.p_gtm_boost:
+            direct.append("googletagmanager")
+            chosen.add("googletagmanager")
+            n_direct = max(n_direct - 1, 0)
+        direct.extend(_weighted_sample(rng, pool_keys, pool_weights,
+                                       n_direct, chosen))
+        chosen.update(direct)
+        # Sites run ONE Google analytics integration: gtag via GTM or the
+        # standalone analytics.js, never both (this is why Table 2 lists
+        # (_ga, googletagmanager.com) and (_ga, google-analytics.com) as
+        # distinct pairs with disjoint site sets).
+        if "googletagmanager" in chosen:
+            for clash in ("google-analytics", "ua-legacy"):
+                if clash in chosen:
+                    direct.remove(clash)
+                    chosen.discard(clash)
+
+        # Indirect inclusions: 2.5× the direct count, hung off loaders.
+        factor = float(rng.lognormal(math.log(config.indirect_factor),
+                                     config.indirect_sigma))
+        n_indirect = int(round(len(direct) * factor))
+        present_loaders = [k for k in direct if k in loader_keys]
+        if n_indirect > 0 and not present_loaders:
+            direct.append("googletagmanager")
+            chosen.add("googletagmanager")
+            present_loaders = ["googletagmanager"]
+            # Re-apply the one-Google-integration rule: the forced GTM may
+            # have joined a site that already sampled analytics.js.
+            for clash in ("google-analytics", "ua-legacy"):
+                if clash in chosen:
+                    direct.remove(clash)
+                    chosen.discard(clash)
+        if n_indirect > 0:
+            exclude = set(chosen)
+            if "googletagmanager" in chosen:
+                exclude.update(("google-analytics", "ua-legacy"))
+            children = _weighted_sample(rng, pool_keys, pool_weights,
+                                        n_indirect, exclude)
+            chosen.update(children)
+            buckets: Dict[str, List[str]] = {k: [] for k in present_loaders}
+            # Nested chains: a loader child can itself become a loader.
+            nested_loaders = [c for c in children if c in loader_keys]
+            for child in children:
+                if nested_loaders and child not in nested_loaders \
+                        and rng.random() < 0.35:
+                    parent = nested_loaders[int(rng.integers(0, len(nested_loaders)))]
+                    buckets.setdefault(parent, []).append(child)
+                else:
+                    parent = present_loaders[int(rng.integers(0, len(present_loaders)))]
+                    buckets[parent].append(child)
+            indirect = {k: tuple(v) for k, v in buckets.items() if v}
+
+        # Final one-Google-integration normalization: GTM and the
+        # standalone analytics.js can both arrive through one children
+        # batch; keep only the tag-manager integration.
+        everything = set(direct)
+        for child_list in indirect.values():
+            everything.update(child_list)
+        if "googletagmanager" in everything:
+            for clash in ("google-analytics", "ua-legacy"):
+                if clash in direct:
+                    direct.remove(clash)
+                chosen.discard(clash)
+            indirect = {loader: tuple(c for c in children
+                                      if c not in ("google-analytics",
+                                                   "ua-legacy"))
+                        for loader, children in indirect.items()}
+            indirect = {k: v for k, v in indirect.items() if v}
+
+        if rng.random() < config.p_shopify:
+            direct.append("shopify-perf")
+        if rng.random() < config.p_admiral:
+            direct.append("admiral")
+        if rng.random() < config.p_dom_modifier:
+            pick = dom_modifier_keys[int(rng.integers(0, len(dom_modifier_keys)))]
+            if pick not in chosen:
+                direct.append(pick)
+                chosen.add(pick)
+
+    # SSO flows.
+    sso: Optional[SsoFlow] = None
+    if has_third_party and rng.random() < config.p_sso:
+        shape = rng.random()
+        same_dom, same_ent, _cross = config.sso_flow_mix
+        if domain == "zoom.us":
+            sso = SsoFlow("microsoft-sso", "live-sso", severity="major")
+        elif shape < same_dom:
+            key = sso_keys[int(rng.integers(0, len(sso_keys)))]
+            sso = SsoFlow(key, key, severity="major")
+        elif shape < same_dom + same_ent:
+            sso = SsoFlow("microsoft-sso", "live-sso",
+                          severity="minor" if rng.random() < config.p_sso_minor
+                          else "major")
+        else:
+            pair = rng.choice(len(sso_keys), size=2, replace=False)
+            setter, reader = sso_keys[int(pair[0])], sso_keys[int(pair[1])]
+            sso = SsoFlow(setter, reader, severity="major")
+        for key in (sso.setter_key, sso.reader_key):
+            if key not in chosen:
+                direct.append(key)
+                chosen.add(key)
+    if domain == "zoom.us" and sso is None:
+        sso = SsoFlow("microsoft-sso", "live-sso", severity="major")
+        for key in ("microsoft-sso", "live-sso"):
+            if key not in chosen:
+                direct.append(key)
+                chosen.add(key)
+    if domain == "cnn.com" and sso is None:
+        sso = SsoFlow("microsoft-sso", "live-sso", severity="minor")
+        for key in ("microsoft-sso", "live-sso"):
+            if key not in chosen:
+                direct.append(key)
+                chosen.add(key)
+
+    # Functional cross-domain dependencies (Table 3's functionality rows).
+    deps: List[FunctionalDep] = []
+    ad_services = [k for k in chosen
+                   if services[k].archetype == "ad_exchange"]
+    if domain == "facebook.com":
+        direct.append("fbcdn-widget")
+        chosen.add("fbcdn-widget")
+        deps.append(FunctionalDep(kind="chat", reader_key="fbcdn-widget",
+                                  creator="site", cookie_name="fp_session",
+                                  severity="major"))
+    else:
+        if len(ad_services) >= 2 and rng.random() < config.p_ads_dep:
+            deps.append(FunctionalDep(
+                kind="ads", reader_key=ad_services[0], creator=ad_services[1],
+                cookie_name=(services[ad_services[1]].cookies[0].name
+                             if services[ad_services[1]].cookies else "ad-id"),
+                severity="minor"))
+        widget_services = [k for k in chosen
+                           if services[k].category == "widget"]
+        if widget_services and rng.random() < config.p_widget_dep:
+            deps.append(FunctionalDep(
+                kind="chat", reader_key=widget_services[0], creator="site",
+                cookie_name="fp_session", severity="major"))
+
+    # First-party script behaviour.
+    fp_deletes: Tuple[str, ...] = ()
+    fp_overwrites: Tuple[str, ...] = ()
+    if domain == "prettylittlething.com" or rng.random() < config.p_fp_deletes:
+        fp_deletes = ("_ga", "_fbp", "_uetvid", "_gcl_au", "_gid")
+    if rng.random() < config.p_fp_overwrites:
+        fp_overwrites = ("_ga", "utag_main", "_fbp")[:int(rng.integers(1, 4))]
+    self_hosted = rng.random() < config.p_fp_self_hosted
+    first_party = FirstPartyConfig(
+        session=not no_cookie_site,
+        prefs=not no_cookie_site,
+        reads_jar=not no_cookie_site,
+        deletes=fp_deletes,
+        overwrites=fp_overwrites,
+        self_hosted_tracking=self_hosted,
+        exfil_destination="stats.g.doubleclick.net" if self_hosted else "",
+    )
+
+    # CNAME-cloaked trackers (§8 evasion).
+    cloaked: Tuple[str, ...] = ()
+    if has_third_party and rng.random() < config.p_cloaked:
+        pick = cloakable_keys[int(rng.integers(0, len(cloakable_keys)))]
+        if pick not in chosen:
+            cloaked = (pick,)
+
+    service_overrides: Dict[str, Dict] = {}
+    if domain == "optimonk.com":
+        for key in ("googletagmanager", "linkedin-insight"):
+            if key not in chosen:
+                direct.append(key)
+                chosen.add(key)
+        # The §5.4 case study: the insight tag deterministically parses
+        # and Base64-exfiltrates the _ga client id on this site.
+        service_overrides["linkedin-insight"] = {"steal_prob": 1.0,
+                                                 "async_prob": 0.0}
+    if domain == "goosecreekcandle.com":
+        for key in ("facebook-pixel", "osano"):
+            if key not in chosen:
+                direct.append(key)
+                chosen.add(key)
+        # The §5.4 Osano→Criteo identifier-sharing case study.
+        service_overrides["osano"] = {"steal_prob": 1.0, "async_prob": 0.0,
+                                      "delete_prob": 0.0}
+
+    return SiteSpec(
+        domain=domain,
+        rank=rank,
+        https=True,
+        direct_services=tuple(direct),
+        indirect_assignments=indirect,
+        service_overrides=service_overrides,
+        first_party=first_party,
+        has_inline_script=rng.random() < config.p_inline,
+        cloaked_services=cloaked,
+        sso=sso,
+        functional_deps=tuple(deps),
+        crawl_fails=crawl_fails,
+        http_session_cookie=True,
+        http_session_httponly=rng.random() < config.p_http_session_httponly,
+        http_marketing_cookie=rng.random() < config.p_http_marketing_cookie,
+        n_links=int(rng.integers(3, 12)),
+    )

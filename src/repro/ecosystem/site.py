@@ -1,0 +1,124 @@
+"""Site specifications: what one website in the population looks like.
+
+A :class:`SiteSpec` is declarative — which services are embedded directly,
+which arrive through loaders (tag managers / ad exchanges), what the site's
+own first-party script does, whether the site runs an SSO flow or has
+functionality that depends on cross-domain cookie access (the Table 3
+breakage scenarios), and whether any tracker is CNAME-cloaked.
+
+The crawler (:mod:`repro.crawler.crawler`) turns a spec into servers,
+scripts, and a page visit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["FirstPartyConfig", "SsoFlow", "FunctionalDep", "SiteSpec"]
+
+
+@dataclass(frozen=True)
+class FirstPartyConfig:
+    """What the site's own script does (see
+    :func:`repro.ecosystem.behaviors.first_party_behavior`)."""
+
+    session: bool = True
+    prefs: bool = True
+    reads_jar: bool = True
+    #: Tracker cookies the site's own script deletes (compliance resets —
+    #: how prettylittlething.com tops Figure 8b).
+    deletes: Tuple[str, ...] = ()
+    #: Tracker cookies the site's own script overwrites (server-side tag
+    #: management — the publisher entities in Table 5).
+    overwrites: Tuple[str, ...] = ()
+    #: Site proxies tracking through its own domain (§5.7 caveat).
+    self_hosted_tracking: bool = False
+    exfil_destination: str = ""
+
+
+@dataclass(frozen=True)
+class SsoFlow:
+    """A login flow whose session cookie crosses provider domains.
+
+    ``setter_key`` and ``reader_key`` are service keys; breakage occurs
+    under CookieGuard when the reader's eTLD+1 differs from the setter's
+    and they are not grouped by the entity whitelist (§7.2: zoom.us uses
+    microsoft.com + live.com).
+    """
+
+    setter_key: str
+    reader_key: str
+    #: "major" = cannot sign in at all; "minor" = session lost on reload
+    #: (the cnn.com case).
+    severity: str = "major"
+
+
+@dataclass(frozen=True)
+class FunctionalDep:
+    """Non-SSO functionality that requires a cross-domain cookie read.
+
+    ``creator`` is either a service key or the literal ``"site"`` (a
+    first-party-created cookie the widget needs, e.g. Facebook Messenger
+    served from fbcdn.net reading facebook.com state).
+    """
+
+    kind: str          # "ads" | "chat" | "cart" | "search" | "appearance"
+    reader_key: str    # the service whose script needs the cookie
+    creator: str       # service key or "site"
+    cookie_name: str
+    severity: str      # "minor" | "major"
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One website in the synthetic population."""
+
+    domain: str
+    rank: int
+    https: bool = True
+    #: Services embedded straight in the markup.
+    direct_services: Tuple[str, ...] = ()
+    #: loader service key → service keys it injects at runtime.  Keys must
+    #: also appear in ``direct_services`` (the loader itself is direct).
+    indirect_assignments: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: Per-site ServiceSpec field overrides (service key → kwargs), used by
+    #: the case-study sites to pin behaviours the paper observed concretely
+    #: (e.g. the LinkedIn insight tag *does* exfiltrate ``_ga`` on
+    #: optimonk.com).
+    service_overrides: Dict[str, Dict] = field(default_factory=dict)
+    first_party: FirstPartyConfig = field(default_factory=FirstPartyConfig)
+    has_inline_script: bool = True
+    #: Service keys reached through a CNAME-cloaked first-party subdomain.
+    cloaked_services: Tuple[str, ...] = ()
+    sso: Optional[SsoFlow] = None
+    functional_deps: Tuple[FunctionalDep, ...] = ()
+    #: Crawl never completes (timeouts, bot walls): models the paper's
+    #: 20,000 → 14,917 retention.
+    crawl_fails: bool = False
+    #: Server-side cookies on the document response.
+    http_session_cookie: bool = True
+    http_session_httponly: bool = True
+    http_marketing_cookie: bool = False
+    #: Number of same-site links the crawler may click (≤ 3 are used).
+    n_links: int = 5
+
+    @property
+    def url(self) -> str:
+        scheme = "https" if self.https else "http"
+        return f"{scheme}://{self.domain}/"
+
+    def all_service_keys(self) -> Tuple[str, ...]:
+        """Direct + indirect + cloaked service keys (deduplicated, ordered)."""
+        seen = []
+        for key in self.direct_services:
+            if key not in seen:
+                seen.append(key)
+        for children in self.indirect_assignments.values():
+            for key in children:
+                if key not in seen:
+                    seen.append(key)
+        for key in self.cloaked_services:
+            if key not in seen:
+                seen.append(key)
+        return tuple(seen)

@@ -1,0 +1,34 @@
+"""Identifier encodings shared by the ecosystem and the detector.
+
+The paper's exfiltration pipeline (§4.4) matches candidate identifiers in
+three encoded forms besides plaintext: Base64, MD5, and SHA1.  Tracker
+behaviours in the synthetic ecosystem use the same helpers to encode what
+they exfiltrate (the LinkedIn insight-tag case study Base64-encodes ``_ga``
+segments), so detection is a genuine decode-free match, not bookkeeping.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+from typing import Tuple
+
+__all__ = ["b64", "md5_hex", "sha1_hex", "encoded_forms"]
+
+
+def b64(value: str) -> str:
+    """URL-safe Base64 without padding (what tracking pixels emit)."""
+    return base64.urlsafe_b64encode(value.encode()).decode().rstrip("=")
+
+
+def md5_hex(value: str) -> str:
+    return hashlib.md5(value.encode()).hexdigest()
+
+
+def sha1_hex(value: str) -> str:
+    return hashlib.sha1(value.encode()).hexdigest()
+
+
+def encoded_forms(value: str) -> Tuple[str, str, str, str]:
+    """(plain, base64, md5, sha1) — the four forms the detector checks."""
+    return (value, b64(value), md5_hex(value), sha1_hex(value))

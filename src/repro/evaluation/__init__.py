@@ -1,0 +1,31 @@
+"""CookieGuard evaluation harness: Figure 5, Table 3, Table 4, §8 pilot."""
+
+from .access_control import (
+    AccessControlEvaluation,
+    Figure5Row,
+    evaluate_access_control,
+)
+from .breakage import CATEGORIES, BreakageResult, Table3, evaluate_breakage
+from .dompilot import DomPilotReport, evaluate_dom_pilot
+from .performance import (
+    METRICS,
+    PerformanceReport,
+    evaluate_performance,
+    paired_timings_from_logs,
+)
+
+__all__ = [
+    "AccessControlEvaluation",
+    "Figure5Row",
+    "evaluate_access_control",
+    "CATEGORIES",
+    "BreakageResult",
+    "Table3",
+    "evaluate_breakage",
+    "DomPilotReport",
+    "evaluate_dom_pilot",
+    "METRICS",
+    "PerformanceReport",
+    "evaluate_performance",
+    "paired_timings_from_logs",
+]

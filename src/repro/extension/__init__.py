@@ -1,0 +1,6 @@
+"""Extension platform and the measurement extension."""
+
+from .api import ExtensionBase, MessageBus
+from .instrumentation import InstrumentationExtension
+
+__all__ = ["ExtensionBase", "MessageBus", "InstrumentationExtension"]

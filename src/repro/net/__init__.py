@@ -1,0 +1,35 @@
+"""Network substrate: PSL/eTLD+1, DNS with CNAME cloaking, URLs, HTTP."""
+
+from .dns import CnameChainError, DnsRecord, Resolver
+from .headers import Headers
+from .http import Request, Response, ResourceType
+from .psl import (
+    DEFAULT_PSL,
+    PublicSuffixList,
+    etld_plus_one,
+    public_suffix,
+    registrable_domain,
+    same_site,
+)
+from .url import URL, Origin, encode_qs, parse_qs, parse_url
+
+__all__ = [
+    "CnameChainError",
+    "DnsRecord",
+    "Resolver",
+    "Headers",
+    "Request",
+    "Response",
+    "ResourceType",
+    "DEFAULT_PSL",
+    "PublicSuffixList",
+    "etld_plus_one",
+    "public_suffix",
+    "registrable_domain",
+    "same_site",
+    "URL",
+    "Origin",
+    "encode_qs",
+    "parse_qs",
+    "parse_url",
+]

@@ -1,0 +1,99 @@
+"""A tiny DNS resolver with CNAME chains.
+
+The paper's §8 discusses *CNAME cloaking*: a first-party subdomain
+(``metrics.site.com``) whose DNS CNAME record points at a third-party
+tracker (``tracker.example``).  Client-side defenses that attribute scripts
+by URL host are blind to the cloak; DNS-layer defenses can uncloak it.
+This resolver lets the ecosystem create cloaked services and lets the
+ablation benches measure how much cross-domain activity escapes
+CookieGuard under cloaking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .psl import DEFAULT_PSL, PublicSuffixList
+
+__all__ = ["DnsRecord", "Resolver", "CnameChainError"]
+
+
+class CnameChainError(RuntimeError):
+    """Raised on CNAME loops or chains longer than the resolver allows."""
+
+
+@dataclass
+class DnsRecord:
+    """A single DNS name: either terminal (A record) or an alias (CNAME)."""
+
+    name: str
+    cname: Optional[str] = None
+    address: str = "192.0.2.1"  # TEST-NET-1; concrete IPs are irrelevant here
+
+
+@dataclass
+class Resolver:
+    """In-memory DNS resolver.
+
+    Unregistered names resolve to themselves (a synthetic A record), so the
+    simulator never fails DNS for ordinary hosts; only explicitly registered
+    CNAME records change behaviour.
+    """
+
+    max_chain: int = 8
+    _records: Dict[str, DnsRecord] = field(default_factory=dict)
+
+    def register(self, name: str, *, cname: Optional[str] = None,
+                 address: str = "192.0.2.1") -> None:
+        """Register or replace the record for ``name``."""
+        name = name.strip().lower().rstrip(".")
+        if cname:
+            cname = cname.strip().lower().rstrip(".")
+            if cname == name:
+                raise CnameChainError(f"CNAME self-loop on {name}")
+        self._records[name] = DnsRecord(name=name, cname=cname, address=address)
+
+    def add_cname_cloak(self, first_party_sub: str, third_party_host: str) -> None:
+        """Convenience helper used by the ecosystem to cloak a tracker."""
+        self.register(first_party_sub, cname=third_party_host)
+
+    # ------------------------------------------------------------------
+    def resolve_chain(self, name: str) -> List[str]:
+        """Return the full resolution chain, starting with ``name``."""
+        name = name.strip().lower().rstrip(".")
+        chain = [name]
+        seen = {name}
+        current = name
+        while True:
+            record = self._records.get(current)
+            if record is None or record.cname is None:
+                return chain
+            current = record.cname
+            if current in seen:
+                raise CnameChainError(f"CNAME loop at {current}")
+            if len(chain) >= self.max_chain:
+                raise CnameChainError(f"CNAME chain too long from {name}")
+            seen.add(current)
+            chain.append(current)
+
+    def canonical_name(self, name: str) -> str:
+        """Return the terminal name after following all CNAMEs."""
+        return self.resolve_chain(name)[-1]
+
+    def is_cloaked(self, name: str, psl: PublicSuffixList = DEFAULT_PSL) -> bool:
+        """True when ``name`` CNAMEs to a host with a different eTLD+1."""
+        chain = self.resolve_chain(name)
+        if len(chain) < 2:
+            return False
+        first = psl.registrable_domain(chain[0])
+        last = psl.registrable_domain(chain[-1])
+        return first is not None and last is not None and first != last
+
+    def uncloaked_domain(self, name: str,
+                         psl: PublicSuffixList = DEFAULT_PSL) -> Optional[str]:
+        """eTLD+1 of the *terminal* host — what a DNS-layer defense sees."""
+        return psl.registrable_domain(self.canonical_name(name))
+
+    def records(self) -> Tuple[DnsRecord, ...]:
+        return tuple(self._records.values())

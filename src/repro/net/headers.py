@@ -1,0 +1,81 @@
+"""A case-insensitive, multi-valued HTTP header map.
+
+``Set-Cookie`` is the one header that must never be joined with commas
+(cookie values may themselves contain commas in Expires dates), so the map
+keeps every occurrence separate and :meth:`Headers.get_all` returns them in
+insertion order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["Headers"]
+
+
+class Headers:
+    """Ordered, case-insensitive multimap of HTTP headers."""
+
+    def __init__(self, items: Optional[Iterable[Tuple[str, str]]] = None):
+        self._items: List[Tuple[str, str]] = []
+        if items:
+            for name, value in items:
+                self.add(name, value)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _norm(name: str) -> str:
+        return name.strip().lower()
+
+    def add(self, name: str, value: str) -> None:
+        """Append a header occurrence, preserving earlier ones."""
+        self._items.append((self._norm(name), str(value).strip()))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all occurrences of ``name`` with a single value."""
+        norm = self._norm(name)
+        self._items = [(n, v) for n, v in self._items if n != norm]
+        self._items.append((norm, str(value).strip()))
+
+    def remove(self, name: str) -> None:
+        norm = self._norm(name)
+        self._items = [(n, v) for n, v in self._items if n != norm]
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """First occurrence of ``name`` or ``default``."""
+        norm = self._norm(name)
+        for n, v in self._items:
+            if n == norm:
+                return v
+        return default
+
+    def get_all(self, name: str) -> List[str]:
+        """All occurrences of ``name`` in insertion order."""
+        norm = self._norm(name)
+        return [v for n, v in self._items if n == norm]
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Headers):
+            return NotImplemented
+        return self._items == other._items
+
+    def copy(self) -> "Headers":
+        return Headers(self._items)
+
+    def to_dict(self) -> Dict[str, List[str]]:
+        out: Dict[str, List[str]] = {}
+        for name, value in self._items:
+            out.setdefault(name, []).append(value)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Headers({self._items!r})"

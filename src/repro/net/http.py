@@ -1,0 +1,93 @@
+"""HTTP request/response primitives for the browser simulator.
+
+Requests carry an *initiator* — the URL of the script (or document) that
+caused the fetch — because the paper's instrumentation attributes network
+activity to scripts via the Chrome debugger's ``Network.requestWillBeSent``
+stack traces.  The simulator's network layer fills the initiator from the
+live JS call stack; this module just defines the data shapes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from .headers import Headers
+from .url import URL
+
+__all__ = ["ResourceType", "Request", "Response"]
+
+_request_ids = itertools.count(1)
+
+
+class ResourceType(Enum):
+    """What kind of resource a request fetches (Chrome devtools taxonomy)."""
+
+    DOCUMENT = "document"
+    SCRIPT = "script"
+    IMAGE = "image"
+    XHR = "xhr"
+    FETCH = "fetch"
+    BEACON = "beacon"
+    STYLESHEET = "stylesheet"
+    SUBDOCUMENT = "subdocument"
+    OTHER = "other"
+
+
+@dataclass
+class Request:
+    """An outbound HTTP request.
+
+    Attributes
+    ----------
+    url:
+        Target URL (query string is where exfiltrated identifiers travel).
+    method:
+        HTTP verb; beacons/pixels are GET, some exfil uses POST bodies.
+    resource_type:
+        Devtools-style resource type used by filter-list option matching.
+    initiator_url:
+        URL of the script that triggered the request, or None for
+        browser-initiated navigations.
+    initiator_stack:
+        Snapshot of script URLs on the JS stack at request time (innermost
+        last), mirroring ``Network.requestWillBeSent.initiator.stack``.
+    frame_is_main:
+        Whether the request originated in the main frame.
+    body:
+        POST payload (identifiers can be exfiltrated here too).
+    """
+
+    url: URL
+    method: str = "GET"
+    resource_type: ResourceType = ResourceType.OTHER
+    headers: Headers = field(default_factory=Headers)
+    initiator_url: Optional[URL] = None
+    initiator_stack: tuple = ()
+    frame_is_main: bool = True
+    body: str = ""
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def is_navigation(self) -> bool:
+        return self.resource_type is ResourceType.DOCUMENT
+
+
+@dataclass
+class Response:
+    """An HTTP response; ``Set-Cookie`` occurrences stay separate headers."""
+
+    url: URL
+    status: int = 200
+    headers: Headers = field(default_factory=Headers)
+    body: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def set_cookie_headers(self) -> list:
+        """All ``Set-Cookie`` header values in order."""
+        return self.headers.get_all("set-cookie")

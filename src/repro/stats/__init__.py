@@ -1,0 +1,16 @@
+"""Statistics utilities: boxplot summaries and seeded RNG plumbing."""
+
+from .boxplot import BoxplotStats
+
+import numpy as np
+
+__all__ = ["BoxplotStats", "rng"]
+
+
+def rng(seed) -> np.random.Generator:
+    """The project-wide way to build a deterministic generator.
+
+    ``seed`` may be an int or a sequence (``[experiment, site_rank]``)
+    so sub-streams are independent of iteration order.
+    """
+    return np.random.default_rng(seed)

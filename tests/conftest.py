@@ -1,0 +1,36 @@
+"""Shared fixtures: a small deterministic population and its crawl.
+
+Session-scoped so the integration-heavy test modules share one crawl
+instead of re-running it per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Study
+from repro.crawler import CrawlConfig, Crawler
+from repro.ecosystem import PopulationConfig, generate_population
+
+SMALL_N = 400
+
+
+@pytest.fixture(scope="session")
+def population():
+    return generate_population(PopulationConfig(n_sites=SMALL_N, seed=2025))
+
+
+@pytest.fixture(scope="session")
+def crawl_logs(population):
+    return Crawler(population, CrawlConfig(seed=2025)).crawl()
+
+
+@pytest.fixture(scope="session")
+def guarded_logs(population):
+    return Crawler(population, CrawlConfig(seed=2025,
+                                           install_guard=True)).crawl()
+
+
+@pytest.fixture(scope="session")
+def study(crawl_logs):
+    return Study(crawl_logs)

@@ -1,0 +1,229 @@
+"""Service archetype behaviours executed in real pages."""
+
+import numpy as np
+import pytest
+
+from repro.browser.browser import Browser
+from repro.browser.scripts import Script
+from repro.ecosystem.behaviors import build_behavior, first_party_behavior
+from repro.ecosystem.services import CookieSpec, ServiceSpec
+
+
+def run_service(service, site="https://site.com/", extra_scripts=(),
+                seed=1):
+    browser = Browser(rng=np.random.default_rng(seed))
+    scripts = list(extra_scripts)
+    scripts.append(Script.external(
+        service.script_url,
+        behavior=build_behavior(service), label=service.key))
+    return browser.visit(site, scripts=scripts)
+
+
+def spec(**kw) -> ServiceSpec:
+    defaults = dict(key="svc", domain="svc.com", entity="Svc",
+                    category="analytics", tracking=True,
+                    archetype="analytics", async_prob=0.0)
+    defaults.update(kw)
+    return ServiceSpec(**defaults)
+
+
+class TestAnalytics:
+    def test_sets_own_cookies(self):
+        service = spec(cookies=(CookieSpec("_svc_id", "uuid"),))
+        page = run_service(service)
+        assert page.jar.find("_svc_id")
+
+    def test_does_not_reset_existing(self):
+        service = spec(cookies=(CookieSpec("_svc_id", "uuid"),))
+        preset = Script.external(
+            "https://other.com/o.js",
+            behavior=lambda js: js.set_cookie("_svc_id=KEEP; Domain=site.com"))
+        page = run_service(service, extra_scripts=[preset])
+        assert page.jar.find("_svc_id")[0].value == "KEEP"
+
+    def test_beacons_home(self):
+        service = spec(cookies=(CookieSpec("_svc_id", "uuid"),))
+        page = run_service(service)
+        collects = [r for r in page.network.requests
+                    if r.url.host == "svc.com" and "svc_id" in r.url.query]
+        assert collects
+
+    def test_steals_targets(self):
+        service = spec(steal_targets=("_loot",), steal_prob=1.0)
+        preset = Script.external(
+            "https://victim.com/v.js",
+            behavior=lambda js: js.set_cookie(
+                "_loot=stolenvalue123; Domain=site.com"))
+        page = run_service(service, extra_scripts=[preset])
+        thefts = [r for r in page.network.requests
+                  if "stolenvalue123" in r.url.query]
+        assert thefts
+
+    def test_steal_respects_probability_zero(self):
+        service = spec(steal_targets=("_loot",), steal_prob=0.0)
+        preset = Script.external(
+            "https://victim.com/v.js",
+            behavior=lambda js: js.set_cookie(
+                "_loot=stolenvalue123; Domain=site.com"))
+        page = run_service(service, extra_scripts=[preset])
+        assert not [r for r in page.network.requests
+                    if "stolenvalue123" in r.url.query]
+
+
+class TestAdExchange:
+    def test_syncs_only_known_identifiers(self):
+        service = spec(archetype="ad_exchange", steal_prob=1.0)
+        presets = [
+            Script.external("https://gtm.com/g.js", behavior=lambda js: (
+                js.set_cookie("_ga=GA1.1.111222333.1746838827; Domain=site.com"),
+                js.set_cookie("fp_secret=supersecretvalue42; Domain=site.com"))),
+        ]
+        page = run_service(service, extra_scripts=presets)
+        bids = [r for r in page.network.requests if r.url.path == "/bid"]
+        assert bids
+        joined = "&".join(r.url.query for r in bids)
+        assert "111222333" in joined          # known RTB identifier
+        assert "supersecretvalue42" not in joined  # arbitrary state stays put
+
+    def test_creates_ad_slot(self):
+        service = spec(archetype="ad_exchange")
+        page = run_service(service)
+        slots = [e for e in page.document.body.descendants()
+                 if e.tag == "ins"]
+        assert slots
+
+    def test_overwrites_target(self):
+        service = spec(archetype="ad_exchange",
+                       overwrite_targets=("cto_bundle",), overwrite_prob=1.0)
+        preset = Script.external(
+            "https://criteo.com/l.js",
+            behavior=lambda js: js.set_cookie(
+                "cto_bundle=" + "x" * 194 + "; Domain=site.com"))
+        page = run_service(service, extra_scripts=[preset])
+        assert page.jar.find("cto_bundle")[0].value != "x" * 194
+
+
+class TestTagManager:
+    def test_includes_children(self):
+        child = spec(key="child", domain="child.com",
+                     cookies=(CookieSpec("_child_id", "uuid"),))
+        parent = spec(key="parent", domain="parent.com",
+                      archetype="tag_manager",
+                      children=("child",), child_count=(1, 1))
+
+        def resolve(key):
+            assert key == "child"
+            return child, build_behavior(child)
+
+        browser = Browser(rng=np.random.default_rng(3))
+        page = browser.visit("https://site.com/", scripts=[
+            Script.external(parent.script_url,
+                            behavior=build_behavior(parent, resolve))])
+        child_scripts = [s for s in page.scripts if s.label == "child"]
+        assert child_scripts and child_scripts[0].parent is not None
+        assert page.jar.find("_child_id")
+
+
+class TestCmp:
+    def test_deletes_targets_on_decline(self):
+        service = spec(archetype="cmp", category="cmp",
+                       cookies=(CookieSpec("consent", "uuid"),),
+                       delete_targets=("_fbp",), delete_prob=1.0)
+        preset = Script.external(
+            "https://connect.facebook.net/f.js",
+            behavior=lambda js: js.set_cookie("_fbp=fb.1.1.1; Domain=site.com"))
+        page = run_service(service, extra_scripts=[preset])
+        assert not page.jar.find("_fbp")
+
+    def test_keeps_targets_when_consented(self):
+        service = spec(archetype="cmp", category="cmp",
+                       delete_targets=("_fbp",), delete_prob=0.0)
+        preset = Script.external(
+            "https://connect.facebook.net/f.js",
+            behavior=lambda js: js.set_cookie("_fbp=fb.1.1.1; Domain=site.com"))
+        page = run_service(service, extra_scripts=[preset])
+        assert page.jar.find("_fbp")
+
+
+class TestCookieStoreSdk:
+    def test_sets_via_cookiestore(self):
+        service = spec(archetype="cookie_store_sdk",
+                       cookies=(CookieSpec("keep_alive", "keep_alive",
+                                           api="cookieStore"),))
+        page = run_service(service)
+        cookie = page.jar.find("keep_alive")[0]
+        assert cookie.secure  # cookieStore writes are Secure
+
+
+class TestWidget:
+    def test_colliding_names_overwrite(self):
+        widget_a = spec(key="wa", domain="wa.com", archetype="widget",
+                        cookies=(CookieSpec("cookie_test", "short_flag"),))
+        widget_b = spec(key="wb", domain="wb.com", archetype="widget",
+                        cookies=(CookieSpec("cookie_test", "generic_id"),))
+        browser = Browser(rng=np.random.default_rng(5))
+        page = browser.visit("https://site.com/", scripts=[
+            Script.external(widget_a.script_url, behavior=build_behavior(widget_a)),
+            Script.external(widget_b.script_url, behavior=build_behavior(widget_b))])
+        # Second widget clobbered the first's probe cookie.
+        assert len(page.jar.find("cookie_test")) == 1
+
+
+class TestDomModifier:
+    def test_rewrites_foreign_element(self):
+        service = spec(archetype="dom_modifier",
+                       cookies=(CookieSpec("bt_vid", "uuid"),))
+        creator = Script.external(
+            "https://ads.example.com/slot.js",
+            behavior=lambda js: js.document.body.append_child(
+                js.document.create_element("ins")))
+        page = run_service(service, extra_scripts=[creator])
+        cross = page.document.cross_script_mutations()
+        assert cross
+
+
+class TestLibrary:
+    def test_no_cookies_no_requests_beyond_fetch(self):
+        service = spec(archetype="library", tracking=False,
+                       category="library")
+        page = run_service(service)
+        assert len(page.jar) == 0
+
+
+class TestFirstParty:
+    def test_session_and_prefs(self):
+        browser = Browser(rng=np.random.default_rng(6))
+        page = browser.visit("https://site.com/", scripts=[
+            Script.external("https://site.com/main.js",
+                            behavior=first_party_behavior())])
+        assert page.jar.find("fp_session")
+        assert page.jar.find("site_prefs")
+
+    def test_deferred_cleanup_deletes_after_trackers(self):
+        browser = Browser(rng=np.random.default_rng(7))
+        fp = Script.external(
+            "https://site.com/main.js",
+            behavior=first_party_behavior(deletes=("_fbp",)))
+        tracker = Script.external(
+            "https://connect.facebook.net/f.js",
+            behavior=lambda js: js.set_cookie("_fbp=fb.1.1.1; Domain=site.com"))
+        # First-party script appears FIRST in markup, tracker second —
+        # the delete still lands because cleanup runs on a timer.
+        page = browser.visit("https://site.com/", scripts=[fp, tracker])
+        assert not page.jar.find("_fbp")
+
+    def test_self_hosted_exfiltration(self):
+        browser = Browser(rng=np.random.default_rng(8))
+        fp = Script.external(
+            "https://site.com/main.js",
+            behavior=first_party_behavior(
+                self_hosted_tracking=True,
+                exfil_destination="stats.g.doubleclick.net"))
+        tracker = Script.external(
+            "https://gtm.com/g.js",
+            behavior=lambda js: js.set_cookie(
+                "_ga=GA1.1.999888777.1746838827; Domain=site.com"))
+        page = browser.visit("https://site.com/", scripts=[fp, tracker])
+        proxied = [r for r in page.network.requests
+                   if "doubleclick" in r.url.host and "999888777" in r.url.query]
+        assert proxied

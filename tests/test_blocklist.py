@@ -1,0 +1,89 @@
+"""The blocklist baseline extension."""
+
+import pytest
+
+from repro.analysis.filterlists import FilterList
+from repro.browser.browser import Browser
+from repro.browser.scripts import Script
+from repro.cookieguard.blocklist import BlocklistExtension
+
+
+def browser_with(blocker):
+    browser = Browser()
+    browser.install(blocker)
+    return browser
+
+
+class TestBlocklistExtension:
+    def test_listed_script_blocked(self):
+        blocker = BlocklistExtension(FilterList(["||tracker.com^"]))
+        browser = browser_with(blocker)
+        ran = []
+        page = browser.visit("https://site.com/", scripts=[
+            Script.external("https://cdn.tracker.com/t.js",
+                            behavior=lambda js: ran.append("tracker"))])
+        assert ran == []
+        assert blocker.blocked_scripts == 1
+        assert blocker.blocked_urls == ["https://cdn.tracker.com/t.js"]
+
+    def test_unlisted_script_runs(self):
+        blocker = BlocklistExtension(FilterList(["||tracker.com^"]))
+        browser = browser_with(blocker)
+        ran = []
+        browser.visit("https://site.com/", scripts=[
+            Script.external("https://benign.com/lib.js",
+                            behavior=lambda js: ran.append("lib"))])
+        assert ran == ["lib"]
+        assert blocker.allowed_scripts == 1
+
+    def test_inline_scripts_never_blocked(self):
+        blocker = BlocklistExtension(FilterList(["||tracker.com^"]))
+        browser = browser_with(blocker)
+        ran = []
+        browser.visit("https://site.com/", scripts=[
+            Script.inline(behavior=lambda js: ran.append("inline"))])
+        assert ran == ["inline"]
+
+    def test_dynamic_inclusion_filtered(self):
+        blocker = BlocklistExtension(FilterList(["||tracker.com^"]))
+        browser = browser_with(blocker)
+        ran = []
+
+        def loader(js):
+            js.include_script(src="https://cdn.tracker.com/child.js",
+                              behavior=lambda j: ran.append("child"))
+            js.include_script(src="https://ok.com/child.js",
+                              behavior=lambda j: ran.append("ok"))
+
+        browser.visit("https://site.com/", scripts=[
+            Script.external("https://loader.com/l.js", behavior=loader)])
+        assert ran == ["ok"]
+        assert blocker.blocked_scripts == 1
+
+    def test_cloaked_script_evades_blocklist(self):
+        # First-party URL, third-party behaviour: no list rule matches.
+        blocker = BlocklistExtension(FilterList(["||tracker.com^$third-party"]))
+        browser = browser_with(blocker)
+        ran = []
+        browser.visit("https://site.com/", scripts=[
+            Script.external("https://metrics.site.com/t.js",
+                            behavior=lambda js: ran.append("cloaked"))])
+        assert ran == ["cloaked"]
+        assert blocker.blocked_scripts == 0
+
+    def test_blocked_tracker_sets_no_cookies(self):
+        blocker = BlocklistExtension(FilterList(["||tracker.com^"]))
+        browser = browser_with(blocker)
+        page = browser.visit("https://site.com/", scripts=[
+            Script.external("https://cdn.tracker.com/t.js",
+                            behavior=lambda js: js.set_cookie("_t=1"))])
+        assert len(page.jar) == 0
+
+    def test_default_lists_block_known_trackers(self):
+        blocker = BlocklistExtension()
+        browser = browser_with(blocker)
+        ran = []
+        browser.visit("https://site.com/", scripts=[
+            Script.external("https://www.googletagmanager.com/gtm.js",
+                            behavior=lambda js: ran.append("gtm"))])
+        assert ran == []

@@ -1,0 +1,154 @@
+"""Catalog integrity: every spec must be executable by the crawler."""
+
+import numpy as np
+import pytest
+
+from repro.ecosystem.behaviors import ARCHETYPES, RTB_SYNC_COOKIES, build_behavior
+from repro.ecosystem.catalog import (
+    NAMED_SERVICES,
+    full_catalog,
+    generic_services,
+    service_index,
+)
+from repro.ecosystem.identifiers import IdFactory
+from repro.net.psl import registrable_domain
+from repro.net.url import parse_url
+
+ALL = full_catalog()
+
+
+class TestSpecIntegrity:
+    def test_keys_unique(self):
+        keys = [s.key for s in ALL]
+        assert len(keys) == len(set(keys))
+
+    @pytest.mark.parametrize("service", ALL, ids=lambda s: s.key)
+    def test_archetype_known(self, service):
+        assert service.archetype in ARCHETYPES
+
+    @pytest.mark.parametrize("service", ALL, ids=lambda s: s.key)
+    def test_script_url_parses(self, service):
+        url = parse_url(service.script_url)
+        assert url.is_secure
+
+    @pytest.mark.parametrize("service", NAMED_SERVICES, ids=lambda s: s.key)
+    def test_script_host_matches_domain(self, service):
+        assert registrable_domain(service.effective_script_host) == service.domain
+
+    @pytest.mark.parametrize("service", NAMED_SERVICES, ids=lambda s: s.key)
+    def test_cookie_makers_exist(self, service):
+        ids = IdFactory(np.random.default_rng(0))
+        for spec in service.cookies:
+            value = getattr(ids, spec.maker)()
+            assert isinstance(value, str) and value
+
+    def test_children_resolve(self):
+        index = service_index(ALL)
+        for service in ALL:
+            for child in service.children:
+                assert child in index, f"{service.key} -> {child}"
+
+    @pytest.mark.parametrize("service", ALL, ids=lambda s: s.key)
+    def test_behavior_buildable(self, service):
+        behavior = build_behavior(service.with_overrides(children=(),
+                                                         child_count=(0, 0)))
+        assert callable(behavior)
+
+    def test_probabilities_in_range(self):
+        for service in ALL:
+            for prob in (service.steal_prob, service.overwrite_prob,
+                         service.delete_prob, service.async_prob,
+                         service.harvest_prob):
+                assert 0.0 <= prob <= 1.0, service.key
+
+
+class TestPaperCoverage:
+    """Every domain the paper's tables name must exist in the catalog."""
+
+    TABLE2_OWNERS = {
+        ("_ga", "googletagmanager.com"), ("_gid", "google-analytics.com"),
+        ("_ga", "google-analytics.com"), ("_gcl_au", "googletagmanager.com"),
+        ("i", "openx.net"), ("pd", "openx.net"), ("SPugT", "pubmatic.com"),
+        ("PugT", "pubmatic.com"), ("__utma", "google-analytics.com"),
+        ("_fbp", "facebook.net"), ("_mkto_trk", "marketo.net"),
+        ("_ym_d", "yandex.ru"), ("lotame_domain_check", "crwdcntrl.net"),
+        ("us_privacy", "ketchjs.com"), ("_yjsu_yjad", "yimg.jp"),
+        ("gaconnector_GA_Client_ID", "gaconnector.com"),
+        ("sc_is_visitor_unique", "statcounter.com"),
+    }
+
+    def test_table2_cookie_owners_present(self):
+        pairs = {(spec.name, service.domain)
+                 for service in ALL for spec in service.cookies}
+        missing = self.TABLE2_OWNERS - pairs
+        assert not missing
+
+    FIGURE2_DOMAINS = {
+        "googletagmanager.com", "doubleclick.net", "hubspot.com",
+        "googlesyndication.com", "google-analytics.com", "adthrive.com",
+        "amazon-adsystem.com", "usemessages.com", "hscollectedforms.net",
+        "hsleadflows.net", "taboola.com", "pub.network", "script.ac",
+        "yandex.ru", "cloudfront.net", "hsforms.net", "licdn.com",
+        "mountain.com", "osano.com", "liadm.com",
+    }
+
+    def test_figure2_domains_present(self):
+        domains = {service.domain for service in ALL}
+        assert self.FIGURE2_DOMAINS <= domains
+
+    FIGURE8_DELETERS = {"cdn-cookieyes.com", "cookie-script.com",
+                        "civiccomputing.com", "cookiebot.com", "sc-static.net",
+                        "33across.com", "qualtrics.com", "cxense.com"}
+
+    def test_deleter_domains_present(self):
+        deleters = {service.domain for service in ALL if service.delete_targets}
+        assert self.FIGURE8_DELETERS <= deleters
+
+    def test_cookiestore_deployments(self):
+        index = service_index(ALL)
+        shopify = index["shopify-perf"]
+        admiral = index["admiral"]
+        assert shopify.cookies[0].name == "keep_alive"
+        assert shopify.cookies[0].api == "cookieStore"
+        assert admiral.cookies[0].name == "_awl"
+        assert admiral.cookies[0].api == "cookieStore"
+
+    def test_case_study_services(self):
+        index = service_index(ALL)
+        linkedin = index["linkedin-insight"]
+        assert linkedin.encode == "b64"
+        assert "_ga" in linkedin.steal_targets
+        osano = index["osano"]
+        assert "_fbp" in osano.steal_targets
+        assert any("criteo" in d for d in osano.destinations)
+        pubmatic = index["pubmatic"]
+        assert "cto_bundle" in pubmatic.overwrite_targets
+
+    def test_rtb_sync_list_has_popular_ids(self):
+        assert {"_ga", "_fbp", "cto_bundle", "us_privacy", "_awl"} \
+            <= set(RTB_SYNC_COOKIES)
+
+
+class TestGenericServices:
+    def test_deterministic(self):
+        assert [s.key for s in generic_services(50)] == \
+            [s.key for s in generic_services(50)]
+
+    def test_tracking_share(self):
+        services = generic_services(200)
+        tracking = sum(1 for s in services if s.category == "advertising")
+        assert 0.6 < tracking / len(services) < 0.85
+
+    def test_some_trackers_unlisted(self):
+        services = generic_services(200)
+        unlisted = [s for s in services
+                    if s.category == "advertising" and not s.tracking]
+        assert unlisted  # filter-list blind spots exist
+
+    def test_domains_unique(self):
+        domains = [s.domain for s in generic_services(240)]
+        assert len(domains) == len(set(domains))
+
+    def test_popularity_decays(self):
+        services = generic_services(100)
+        assert services[0].popularity > services[-1].popularity

@@ -1,0 +1,191 @@
+"""Cookie jar storage semantics."""
+
+import pytest
+
+from repro.cookies.cookie import Cookie
+from repro.cookies.jar import MAX_COOKIES_PER_DOMAIN, CookieChange, CookieJar
+from repro.net.url import parse_url
+
+
+def make(name="a", value="1", domain="example.com", path="/", **kw) -> Cookie:
+    return Cookie(name=name, value=value, domain=domain, path=path, **kw)
+
+
+URL = parse_url("https://example.com/")
+
+
+class TestStorage:
+    def test_set_new(self):
+        jar = CookieJar()
+        change = jar.set(make())
+        assert change.kind == "set"
+        assert len(jar) == 1
+
+    def test_replacement_same_key(self):
+        jar = CookieJar()
+        jar.set(make(value="1"))
+        change = jar.set(make(value="2"))
+        assert change.kind == "overwrite"
+        assert change.previous.value == "1"
+        assert len(jar) == 1
+
+    def test_replacement_preserves_creation_time(self):
+        jar = CookieJar()
+        jar.set(make(creation_time=5.0), now=5.0)
+        jar.set(make(value="2", creation_time=9.0), now=9.0)
+        assert jar.get("a", "example.com").creation_time == 5.0
+
+    def test_different_path_is_sibling(self):
+        jar = CookieJar()
+        jar.set(make(path="/"))
+        change = jar.set(make(path="/sub"))
+        assert change.kind == "set"
+        assert len(jar) == 2
+
+    def test_expired_write_deletes(self):
+        jar = CookieJar()
+        jar.set(make())
+        change = jar.set(make(expires=0.5), now=1.0)
+        assert change.kind == "delete"
+        assert len(jar) == 0
+
+    def test_expired_write_on_missing_is_noop(self):
+        jar = CookieJar()
+        assert jar.set(make(expires=0.5), now=1.0) is None
+
+    def test_explicit_delete(self):
+        jar = CookieJar()
+        jar.set(make())
+        change = jar.delete("a", "example.com", "/")
+        assert change.kind == "delete"
+        assert len(jar) == 0
+
+    def test_delete_missing_is_noop(self):
+        assert CookieJar().delete("nope", "example.com") is None
+
+    def test_set_from_header(self):
+        jar = CookieJar()
+        change = jar.set_from_header("sid=x; Path=/; Max-Age=100", URL, now=0.0)
+        assert change.kind == "set"
+        assert jar.get("sid", "example.com").from_http
+
+    def test_set_from_header_rejected(self):
+        jar = CookieJar()
+        assert jar.set_from_header("a=1; Domain=other.com", URL) is None
+
+    def test_purge_expired(self):
+        jar = CookieJar()
+        jar.set(make(name="keep"))
+        jar.set(make(name="drop", expires=5.0))
+        assert jar.purge_expired(now=10.0) == 1
+        assert jar.get("keep", "example.com") is not None
+
+    def test_clear(self):
+        jar = CookieJar()
+        jar.set(make())
+        jar.clear()
+        assert len(jar) == 0
+
+
+class TestRetrieval:
+    def test_host_only_requires_exact_host(self):
+        jar = CookieJar()
+        jar.set(make(host_only=True))
+        assert jar.cookies_for_url(parse_url("https://example.com/"))
+        assert not jar.cookies_for_url(parse_url("https://www.example.com/"))
+
+    def test_domain_cookie_matches_subdomain(self):
+        jar = CookieJar()
+        jar.set(make(host_only=False))
+        assert jar.cookies_for_url(parse_url("https://www.example.com/"))
+
+    def test_path_scoping(self):
+        jar = CookieJar()
+        jar.set(make(path="/admin"))
+        assert not jar.cookies_for_url(parse_url("https://example.com/public"))
+        assert jar.cookies_for_url(parse_url("https://example.com/admin/x"))
+
+    def test_secure_requires_https(self):
+        jar = CookieJar()
+        jar.set(make(secure=True))
+        assert not jar.cookies_for_url(parse_url("http://example.com/"))
+        assert jar.cookies_for_url(parse_url("https://example.com/"))
+
+    def test_httponly_hidden_from_script(self):
+        jar = CookieJar()
+        jar.set(make(name="sid", http_only=True, from_http=True))
+        jar.set(make(name="vis"))
+        visible = jar.script_visible(URL)
+        assert [c.name for c in visible] == ["vis"]
+
+    def test_expired_not_returned(self):
+        jar = CookieJar()
+        jar.set(make(expires=5.0))
+        assert not jar.cookies_for_url(URL, now=6.0)
+
+    def test_sorted_longest_path_first(self):
+        jar = CookieJar()
+        jar.set(make(name="short", path="/"), now=1.0)
+        jar.set(make(name="long", path="/a/b"), now=2.0)
+        names = [c.name for c in
+                 jar.cookies_for_url(parse_url("https://example.com/a/b/c"))]
+        assert names == ["long", "short"]
+
+    def test_sorted_by_creation_on_tie(self):
+        jar = CookieJar()
+        jar.set(make(name="older", creation_time=1.0), now=1.0)
+        jar.set(make(name="newer", creation_time=2.0), now=2.0)
+        names = [c.name for c in jar.cookies_for_url(URL, now=3.0)]
+        assert names == ["older", "newer"]
+
+    def test_find_by_name(self):
+        jar = CookieJar()
+        jar.set(make(domain="a.com", host_only=False))
+        jar.set(make(domain="b.com", host_only=False))
+        assert len(jar.find("a")) == 2
+
+    def test_touch_updates_access_time(self):
+        jar = CookieJar()
+        jar.set(make(), now=0.0)
+        jar.cookies_for_url(URL, now=50.0)
+        assert jar.get("a", "example.com").last_access_time == 50.0
+
+    def test_contains(self):
+        jar = CookieJar()
+        jar.set(make())
+        assert ("a", "example.com", "/") in jar
+
+
+class TestEvictionAndListeners:
+    def test_per_domain_eviction(self):
+        jar = CookieJar()
+        for i in range(MAX_COOKIES_PER_DOMAIN + 10):
+            jar.set(make(name=f"c{i}", creation_time=float(i),
+                         last_access_time=float(i)), now=float(i))
+        domain_cookies = [c for c in jar.all() if c.domain == "example.com"]
+        assert len(domain_cookies) == MAX_COOKIES_PER_DOMAIN
+
+    def test_eviction_drops_least_recently_used(self):
+        jar = CookieJar()
+        for i in range(MAX_COOKIES_PER_DOMAIN + 1):
+            jar.set(make(name=f"c{i}", creation_time=float(i),
+                         last_access_time=float(i)), now=float(i))
+        assert jar.get("c0", "example.com") is None
+        assert jar.get("c1", "example.com") is not None
+
+    def test_listener_receives_changes(self):
+        jar = CookieJar()
+        seen = []
+        jar.add_listener(seen.append)
+        jar.set(make())
+        jar.set(make(value="2"))
+        jar.delete("a", "example.com", "/")
+        assert [c.kind for c in seen] == ["set", "overwrite", "delete"]
+
+    def test_listener_sees_eviction(self):
+        jar = CookieJar()
+        kinds = []
+        jar.add_listener(lambda c: kinds.append(c.kind))
+        for i in range(MAX_COOKIES_PER_DOMAIN + 1):
+            jar.set(make(name=f"c{i}"), now=float(i))
+        assert "evict" in kinds

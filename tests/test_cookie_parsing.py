@@ -1,0 +1,242 @@
+"""RFC 6265 Set-Cookie parsing and matching algorithms."""
+
+import pytest
+
+from repro.cookies.cookie import (
+    Cookie,
+    SameSite,
+    default_path,
+    domain_match,
+    parse_cookie_pair,
+    parse_set_cookie,
+    path_match,
+)
+
+
+class TestParseCookiePair:
+    def test_simple(self):
+        assert parse_cookie_pair("a=1") == ("a", "1")
+
+    def test_whitespace(self):
+        assert parse_cookie_pair("  a = 1 ") == ("a", "1")
+
+    def test_quoted_value(self):
+        assert parse_cookie_pair('a="hello"') == ("a", "hello")
+
+    def test_value_with_equals(self):
+        assert parse_cookie_pair("a=b=c") == ("a", "b=c")
+
+    def test_bare_token(self):
+        assert parse_cookie_pair("flag") == ("flag", "")
+
+    def test_empty_name_rejected(self):
+        assert parse_cookie_pair("=value") is None
+
+    def test_empty_string(self):
+        assert parse_cookie_pair("") is None
+
+
+class TestDomainMatch:
+    def test_exact(self):
+        assert domain_match("example.com", "example.com")
+
+    def test_subdomain(self):
+        assert domain_match("www.example.com", "example.com")
+
+    def test_leading_dot_normalized(self):
+        assert domain_match("www.example.com", ".example.com")
+
+    def test_superdomain_does_not_match(self):
+        assert not domain_match("example.com", "www.example.com")
+
+    def test_suffix_but_not_subdomain(self):
+        assert not domain_match("badexample.com", "example.com")
+
+    def test_case_insensitive(self):
+        assert domain_match("WWW.Example.COM", "example.com")
+
+    def test_empty_domain(self):
+        assert not domain_match("example.com", "")
+
+
+class TestPathMatch:
+    def test_exact(self):
+        assert path_match("/a/b", "/a/b")
+
+    def test_prefix_with_trailing_slash(self):
+        assert path_match("/a/b", "/a/")
+
+    def test_prefix_with_boundary(self):
+        assert path_match("/a/b", "/a")
+
+    def test_non_boundary_prefix(self):
+        assert not path_match("/ab", "/a")
+
+    def test_root_matches_everything(self):
+        assert path_match("/anything/here", "/")
+
+    def test_empty_request_path(self):
+        assert path_match("", "/")
+
+
+class TestDefaultPath:
+    def test_root(self):
+        assert default_path("/") == "/"
+
+    def test_single_segment(self):
+        assert default_path("/page") == "/"
+
+    def test_directory(self):
+        assert default_path("/a/b/page") == "/a/b"
+
+    def test_empty(self):
+        assert default_path("") == "/"
+
+    def test_no_leading_slash(self):
+        assert default_path("page") == "/"
+
+
+class TestParseSetCookie:
+    def test_minimal(self):
+        cookie = parse_set_cookie("sid=abc", request_host="example.com")
+        assert cookie.name == "sid"
+        assert cookie.value == "abc"
+        assert cookie.domain == "example.com"
+        assert cookie.host_only
+        assert cookie.is_session
+
+    def test_domain_attribute(self):
+        cookie = parse_set_cookie("a=1; Domain=example.com",
+                                  request_host="www.example.com")
+        assert cookie.domain == "example.com"
+        assert not cookie.host_only
+
+    def test_domain_leading_dot_stripped(self):
+        cookie = parse_set_cookie("a=1; Domain=.example.com",
+                                  request_host="www.example.com")
+        assert cookie.domain == "example.com"
+
+    def test_foreign_domain_rejected(self):
+        assert parse_set_cookie("a=1; Domain=other.com",
+                                request_host="example.com") is None
+
+    def test_superdomain_of_host_allowed(self):
+        cookie = parse_set_cookie("a=1; Domain=example.com",
+                                  request_host="deep.sub.example.com")
+        assert cookie is not None
+
+    def test_subdomain_of_host_rejected(self):
+        assert parse_set_cookie("a=1; Domain=www.example.com",
+                                request_host="example.com") is None
+
+    def test_max_age(self):
+        cookie = parse_set_cookie("a=1; Max-Age=100", request_host="e.com",
+                                  now=50.0)
+        assert cookie.expires == 150.0
+
+    def test_max_age_wins_over_expires(self):
+        cookie = parse_set_cookie("a=1; Expires=9999; Max-Age=10",
+                                  request_host="e.com", now=0.0)
+        assert cookie.expires == 10.0
+
+    def test_expires_numeric(self):
+        cookie = parse_set_cookie("a=1; Expires=500", request_host="e.com")
+        assert cookie.expires == 500.0
+
+    def test_expires_1970_deletion_sentinel(self):
+        cookie = parse_set_cookie(
+            "a=; Expires=Thu, 01 Jan 1970 00:00:00 GMT",
+            request_host="e.com", now=100.0)
+        assert cookie.is_expired(100.0)
+
+    def test_unparseable_expires_dropped(self):
+        cookie = parse_set_cookie("a=1; Expires=banana", request_host="e.com")
+        assert cookie.expires is None
+
+    def test_secure_flag(self):
+        cookie = parse_set_cookie("a=1; Secure", request_host="e.com")
+        assert cookie.secure
+
+    def test_secure_rejected_from_insecure_context(self):
+        assert parse_set_cookie("a=1; Secure", request_host="e.com",
+                                secure_context=False) is None
+
+    def test_httponly_from_http(self):
+        cookie = parse_set_cookie("a=1; HttpOnly", request_host="e.com",
+                                  from_http=True)
+        assert cookie.http_only
+
+    def test_script_cannot_set_httponly(self):
+        cookie = parse_set_cookie("a=1; HttpOnly", request_host="e.com",
+                                  from_http=False)
+        assert cookie is not None
+        assert not cookie.http_only
+
+    def test_samesite_values(self):
+        for raw, expected in (("Strict", SameSite.STRICT),
+                              ("lax", SameSite.LAX),
+                              ("none", SameSite.NONE)):
+            cookie = parse_set_cookie(f"a=1; SameSite={raw}",
+                                      request_host="e.com")
+            assert cookie.same_site is expected
+
+    def test_bad_samesite_defaults_lax(self):
+        cookie = parse_set_cookie("a=1; SameSite=banana", request_host="e.com")
+        assert cookie.same_site is SameSite.LAX
+
+    def test_path_attribute(self):
+        cookie = parse_set_cookie("a=1; Path=/sub", request_host="e.com")
+        assert cookie.path == "/sub"
+
+    def test_default_path_from_request(self):
+        cookie = parse_set_cookie("a=1", request_host="e.com",
+                                  request_path="/dir/page")
+        assert cookie.path == "/dir"
+
+    def test_host_prefix_valid(self):
+        cookie = parse_set_cookie("__Host-sid=1; Secure; Path=/",
+                                  request_host="e.com")
+        assert cookie is not None
+
+    def test_host_prefix_requires_secure(self):
+        assert parse_set_cookie("__Host-sid=1; Path=/",
+                                request_host="e.com") is None
+
+    def test_host_prefix_rejects_domain(self):
+        assert parse_set_cookie("__Host-sid=1; Secure; Path=/; Domain=e.com",
+                                request_host="e.com") is None
+
+    def test_secure_prefix_requires_secure(self):
+        assert parse_set_cookie("__Secure-x=1", request_host="e.com") is None
+        assert parse_set_cookie("__Secure-x=1; Secure",
+                                request_host="e.com") is not None
+
+    def test_nameless_rejected(self):
+        assert parse_set_cookie("=1", request_host="e.com") is None
+
+    def test_unknown_attributes_ignored(self):
+        cookie = parse_set_cookie("a=1; Priority=High; Weird",
+                                  request_host="e.com")
+        assert cookie is not None
+
+
+class TestCookieValue:
+    def test_key_identity(self):
+        cookie = Cookie(name="a", value="1", domain="e.com", path="/p")
+        assert cookie.key == ("a", "e.com", "/p")
+
+    def test_is_expired(self):
+        cookie = Cookie(name="a", value="1", domain="e.com", expires=10.0)
+        assert cookie.is_expired(10.0)
+        assert not cookie.is_expired(9.9)
+
+    def test_session_never_expires(self):
+        cookie = Cookie(name="a", value="1", domain="e.com")
+        assert not cookie.is_expired(1e12)
+
+    def test_pair_format(self):
+        assert Cookie(name="a", value="1", domain="e.com").pair() == "a=1"
+
+    def test_touched_updates_access_time(self):
+        cookie = Cookie(name="a", value="1", domain="e.com")
+        assert cookie.touched(42.0).last_access_time == 42.0

@@ -1,0 +1,280 @@
+"""The CookieGuard extension end-to-end in the browser."""
+
+import pytest
+
+from repro.browser.browser import Browser
+from repro.browser.scripts import Script
+from repro.cookieguard.guard import CookieGuardExtension
+from repro.cookieguard.policy import InlineMode, PolicyConfig
+from repro.net.headers import Headers
+from repro.net.http import Response
+
+
+def guarded_browser(policy=None):
+    browser = Browser()
+    guard = CookieGuardExtension(policy)
+    browser.install(guard)
+    return browser, guard
+
+
+class TestDocumentCookieIsolation:
+    def test_cross_domain_read_filtered(self):
+        browser, guard = guarded_browser()
+        seen = {}
+
+        def setter(js):
+            js.set_cookie("_ga=GA1.1.123456789.1746838827; Domain=site.com")
+
+        def reader(js):
+            seen["jar"] = js.get_cookie()
+
+        browser.visit("https://site.com/", scripts=[
+            Script.external("https://gtm.com/g.js", behavior=setter),
+            Script.external("https://evil.com/e.js", behavior=reader)])
+        assert seen["jar"] == ""
+        assert guard.filtered_cookie_reads > 0
+
+    def test_own_cookie_visible(self):
+        browser, _g = guarded_browser()
+        seen = {}
+
+        def behavior(js):
+            js.set_cookie("mine=1; Domain=site.com")
+            seen["jar"] = js.get_cookie()
+
+        browser.visit("https://site.com/", scripts=[
+            Script.external("https://t.com/t.js", behavior=behavior)])
+        assert seen["jar"] == "mine=1"
+
+    def test_owner_script_sees_everything(self):
+        browser, _g = guarded_browser()
+        seen = {}
+
+        def tracker(js):
+            js.set_cookie("_fbp=fb.1.123.456; Domain=site.com")
+
+        def owner(js):
+            seen["jar"] = js.get_cookie()
+
+        browser.visit("https://site.com/", scripts=[
+            Script.external("https://connect.facebook.net/f.js", behavior=tracker),
+            Script.external("https://site.com/main.js", behavior=owner)])
+        assert "_fbp" in seen["jar"]
+
+    def test_cross_domain_overwrite_blocked(self):
+        browser, guard = guarded_browser()
+
+        def setter(js):
+            js.set_cookie("_ga=ORIGINAL; Domain=site.com")
+
+        def attacker(js):
+            js.set_cookie("_ga=HIJACKED; Domain=site.com")
+
+        page = browser.visit("https://site.com/", scripts=[
+            Script.external("https://gtm.com/g.js", behavior=setter),
+            Script.external("https://evil.com/e.js", behavior=attacker)])
+        assert page.jar.find("_ga")[0].value == "ORIGINAL"
+        assert guard.blocked_writes == 1
+
+    def test_cross_domain_delete_blocked(self):
+        browser, _g = guarded_browser()
+
+        def setter(js):
+            js.set_cookie("keep=me; Domain=site.com")
+
+        def deleter(js):
+            js.set_cookie("keep=; Domain=site.com; Max-Age=0")
+
+        page = browser.visit("https://site.com/", scripts=[
+            Script.external("https://a.com/1.js", behavior=setter),
+            Script.external("https://b.com/2.js", behavior=deleter)])
+        assert page.jar.find("keep")
+
+    def test_owner_may_delete_tracker_cookie(self):
+        browser, _g = guarded_browser()
+
+        def tracker(js):
+            js.set_cookie("_fbp=fb.1.1.1; Domain=site.com")
+
+        def owner(js):
+            js.set_cookie("_fbp=; Domain=site.com; Max-Age=0")
+
+        page = browser.visit("https://site.com/", scripts=[
+            Script.external("https://connect.facebook.net/f.js", behavior=tracker),
+            Script.external("https://site.com/main.js", behavior=owner)])
+        assert not page.jar.find("_fbp")
+
+    def test_ownership_not_stealable_by_overwrite(self):
+        # Even after the guard denies an overwrite, the attacker must not
+        # become the recorded creator.
+        browser, guard = guarded_browser()
+
+        def setter(js):
+            js.set_cookie("tok=real; Domain=site.com")
+
+        def attacker(js):
+            js.set_cookie("tok=fake; Domain=site.com")
+
+        browser.visit("https://site.com/", scripts=[
+            Script.external("https://a.com/1.js", behavior=setter),
+            Script.external("https://b.com/2.js", behavior=attacker)])
+        assert guard.store.creator_of("site.com", "tok") == "a.com"
+
+
+class TestInlineModes:
+    def test_strict_denies_inline_reads(self):
+        browser, _g = guarded_browser()
+        seen = {}
+        browser.visit("https://site.com/", scripts=[
+            Script.external("https://site.com/m.js",
+                            behavior=lambda js: js.set_cookie("a=1")),
+            Script.inline(behavior=lambda js: seen.update(jar=js.get_cookie()))])
+        assert seen["jar"] == ""
+
+    def test_strict_denies_inline_writes(self):
+        browser, guard = guarded_browser()
+        page = browser.visit("https://site.com/", scripts=[
+            Script.inline(behavior=lambda js: js.set_cookie("x=1"))])
+        assert not page.jar.find("x")
+        assert guard.blocked_writes == 1
+
+    def test_relaxed_treats_inline_as_first_party(self):
+        policy = PolicyConfig(inline_mode=InlineMode.RELAXED)
+        browser, _g = guarded_browser(policy)
+        seen = {}
+
+        def tracker(js):
+            js.set_cookie("_t=1; Domain=site.com")
+
+        browser.visit("https://site.com/", scripts=[
+            Script.external("https://t.com/t.js", behavior=tracker),
+            Script.inline(behavior=lambda js: seen.update(jar=js.get_cookie()))])
+        assert "_t=1" in seen["jar"]
+
+
+class TestHttpCreators:
+    def test_server_cookie_owned_by_site(self):
+        browser, guard = guarded_browser()
+
+        def server(request):
+            headers = Headers()
+            headers.add("set-cookie", "srv_pref=x; Path=/")
+            return Response(url=request.url, headers=headers)
+
+        browser.register_server("site.com", server)
+        seen = {}
+        browser.visit("https://site.com/", scripts=[
+            Script.external("https://t.com/t.js",
+                            behavior=lambda js: seen.update(jar=js.get_cookie()))])
+        # Tracker cannot read the server-set first-party cookie.
+        assert seen["jar"] == ""
+        assert guard.store.creator_of("site.com", "srv_pref") == "site.com"
+
+
+class TestCookieStoreIsolation:
+    def test_get_all_filtered(self):
+        browser, _g = guarded_browser()
+        seen = {}
+
+        def shopify(js):
+            js.cookie_store.set("keep_alive", "u-1")
+
+        def snoop(js):
+            promise = js.cookie_store.get_all()
+            promise.then(lambda items: seen.update(
+                names=[i.name for i in items]))
+
+        page = browser.visit("https://site.com/", scripts=[
+            Script.external("https://cdn.shopifycloud.com/p.js", behavior=shopify),
+            Script.external("https://evil.com/e.js", behavior=snoop)])
+        page.loop.run_until_idle()
+        assert seen["names"] == []
+
+    def test_get_blocked_for_foreign(self):
+        browser, guard = guarded_browser()
+        seen = {}
+
+        def shopify(js):
+            js.cookie_store.set("keep_alive", "u-1")
+
+        def snoop(js):
+            js.cookie_store.get("keep_alive").then(
+                lambda item: seen.update(item=item))
+
+        page = browser.visit("https://site.com/", scripts=[
+            Script.external("https://cdn.shopifycloud.com/p.js", behavior=shopify),
+            Script.external("https://evil.com/e.js", behavior=snoop)])
+        page.loop.run_until_idle()
+        assert seen["item"] is None
+        assert guard.blocked_reads >= 1
+
+    def test_cookiestore_delete_blocked(self):
+        browser, _g = guarded_browser()
+
+        def shopify(js):
+            js.cookie_store.set("keep_alive", "u-1")
+
+        def attacker(js):
+            js.cookie_store.delete("keep_alive")
+
+        page = browser.visit("https://site.com/", scripts=[
+            Script.external("https://cdn.shopifycloud.com/p.js", behavior=shopify),
+            Script.external("https://evil.com/e.js", behavior=attacker)])
+        assert page.jar.find("keep_alive")
+
+
+class TestEntityWhitelist:
+    def test_fbcdn_reads_facebook_cookie_with_whitelist(self):
+        from repro.analysis.entities import default_entity_map
+        entities = default_entity_map()
+        policy = PolicyConfig(entity_of=entities.entity_of)
+        browser, _g = guarded_browser(policy)
+        seen = {}
+
+        def fb(js):
+            js.set_cookie("presence=p1; Domain=facebook.com")
+
+        def cdn(js):
+            seen["jar"] = js.get_cookie()
+
+        browser.visit("https://facebook.com/", scripts=[
+            Script.external("https://www.facebook.com/init.js", behavior=fb),
+            Script.external("https://static.fbcdn.net/w.js", behavior=cdn)])
+        assert "presence" in seen["jar"]
+
+    def test_without_whitelist_fbcdn_blocked(self):
+        browser, _g = guarded_browser()
+        seen = {}
+
+        def fb(js):
+            js.set_cookie("presence=p1; Domain=facebook.com")
+
+        def cdn(js):
+            seen["jar"] = js.get_cookie()
+
+        browser.visit("https://facebook.com/", scripts=[
+            Script.external("https://www.facebook.com/init.js", behavior=fb),
+            Script.external("https://static.fbcdn.net/w.js", behavior=cdn)])
+        # facebook.com scripts are the owner; fbcdn.net is not.
+        assert "presence" not in seen["jar"]
+
+
+class TestExfiltrationPrevention:
+    def test_guard_empties_exfil_payload(self):
+        browser, _g = guarded_browser()
+
+        def setter(js):
+            js.set_cookie("_ga=GA1.1.444332364.1746838827; Domain=site.com")
+
+        def thief(js):
+            jar = js.get_cookie()
+            js.load_image("https://px.ads.linkedin.com/attribution",
+                          params={"ga": jar})
+
+        page = browser.visit("https://site.com/", scripts=[
+            Script.external("https://gtm.com/g.js", behavior=setter),
+            Script.external("https://snap.licdn.com/insight.min.js",
+                            behavior=thief)])
+        pixel = [r for r in page.network.requests
+                 if "linkedin" in r.url.host][0]
+        assert "444332364" not in pixel.url.query

@@ -1,0 +1,178 @@
+"""CookieGuard's access policy — every rule from §6.1."""
+
+import pytest
+
+from repro.cookieguard.metadata import CreatorStore
+from repro.cookieguard.policy import (
+    AccessPolicy,
+    Decision,
+    InlineMode,
+    PolicyConfig,
+)
+
+SITE = "site.com"
+
+
+@pytest.fixture
+def policy():
+    return AccessPolicy()
+
+
+class TestReadPolicy:
+    def test_script_reads_own_cookie(self, policy):
+        decision = policy.may_read(script_domain="tracker.com",
+                                   site_domain=SITE, creator="tracker.com")
+        assert decision is Decision.ALLOW
+
+    def test_script_cannot_read_foreign_cookie(self, policy):
+        decision = policy.may_read(script_domain="evil.com",
+                                   site_domain=SITE, creator="tracker.com")
+        assert decision is Decision.DENY
+
+    def test_owner_reads_everything(self, policy):
+        decision = policy.may_read(script_domain=SITE, site_domain=SITE,
+                                   creator="tracker.com")
+        assert decision is Decision.ALLOW
+
+    def test_unknown_creator_denied_to_third_parties(self, policy):
+        decision = policy.may_read(script_domain="tracker.com",
+                                   site_domain=SITE, creator=None)
+        assert decision is Decision.DENY
+
+    def test_unknown_creator_allowed_to_owner(self, policy):
+        decision = policy.may_read(script_domain=SITE, site_domain=SITE,
+                                   creator=None)
+        assert decision is Decision.ALLOW
+
+    def test_inline_strict_denied(self, policy):
+        decision = policy.may_read(script_domain=None, site_domain=SITE,
+                                   creator="tracker.com")
+        assert decision is Decision.DENY
+
+    def test_inline_relaxed_allowed(self):
+        policy = AccessPolicy(PolicyConfig(inline_mode=InlineMode.RELAXED))
+        decision = policy.may_read(script_domain=None, site_domain=SITE,
+                                   creator="tracker.com")
+        assert decision is Decision.ALLOW
+
+
+class TestWritePolicy:
+    def test_fresh_cookie_claims_ownership(self, policy):
+        decision = policy.may_write(script_domain="tracker.com",
+                                    site_domain=SITE, creator=None)
+        assert decision is Decision.ALLOW
+
+    def test_own_cookie_writable(self, policy):
+        decision = policy.may_write(script_domain="tracker.com",
+                                    site_domain=SITE, creator="tracker.com")
+        assert decision is Decision.ALLOW
+
+    def test_foreign_overwrite_blocked(self, policy):
+        decision = policy.may_write(script_domain="evil.com",
+                                    site_domain=SITE, creator="tracker.com")
+        assert decision is Decision.DENY
+
+    def test_owner_writes_everything(self, policy):
+        decision = policy.may_write(script_domain=SITE, site_domain=SITE,
+                                    creator="tracker.com")
+        assert decision is Decision.ALLOW
+
+    def test_inline_strict_cannot_write(self, policy):
+        decision = policy.may_write(script_domain=None, site_domain=SITE,
+                                    creator=None)
+        assert decision is Decision.DENY
+
+    def test_inline_relaxed_writes_as_first_party(self):
+        policy = AccessPolicy(PolicyConfig(inline_mode=InlineMode.RELAXED))
+        decision = policy.may_write(script_domain=None, site_domain=SITE,
+                                    creator="tracker.com")
+        assert decision is Decision.ALLOW
+
+
+class TestOwnerFullAccessAblation:
+    def test_owner_access_disabled(self):
+        policy = AccessPolicy(PolicyConfig(owner_full_access=False))
+        decision = policy.may_read(script_domain=SITE, site_domain=SITE,
+                                   creator="tracker.com")
+        assert decision is Decision.DENY
+
+    def test_owner_still_reads_own_without_full_access(self):
+        policy = AccessPolicy(PolicyConfig(owner_full_access=False))
+        decision = policy.may_read(script_domain=SITE, site_domain=SITE,
+                                   creator=SITE)
+        assert decision is Decision.ALLOW
+
+
+class TestEntityWhitelist:
+    @staticmethod
+    def entity_of(domain):
+        return {"facebook.com": "Meta", "fbcdn.net": "Meta",
+                "microsoft.com": "Microsoft", "live.com": "Microsoft",
+                "site.com": "SiteCo"}.get(domain)
+
+    @pytest.fixture
+    def whitelist_policy(self):
+        return AccessPolicy(PolicyConfig(entity_of=self.entity_of))
+
+    def test_same_entity_read_allowed(self, whitelist_policy):
+        decision = whitelist_policy.may_read(
+            script_domain="fbcdn.net", site_domain=SITE,
+            creator="facebook.com")
+        assert decision is Decision.ALLOW
+
+    def test_same_entity_write_allowed(self, whitelist_policy):
+        decision = whitelist_policy.may_write(
+            script_domain="live.com", site_domain=SITE,
+            creator="microsoft.com")
+        assert decision is Decision.ALLOW
+
+    def test_cross_entity_still_denied(self, whitelist_policy):
+        decision = whitelist_policy.may_read(
+            script_domain="fbcdn.net", site_domain=SITE,
+            creator="microsoft.com")
+        assert decision is Decision.DENY
+
+    def test_entity_owner_grouping(self, whitelist_policy):
+        # A CDN with the site's entity counts as the owner.
+        decision = whitelist_policy.may_read(
+            script_domain="site.com", site_domain=SITE, creator="anyone.com")
+        assert decision is Decision.ALLOW
+
+    def test_unknown_domains_not_grouped(self, whitelist_policy):
+        decision = whitelist_policy.may_read(
+            script_domain="mystery1.com", site_domain=SITE,
+            creator="mystery2.com")
+        assert decision is Decision.DENY
+
+
+class TestCreatorStore:
+    def test_first_creator_wins(self):
+        store = CreatorStore()
+        store.record_creation(SITE, "_ga", "googletagmanager.com")
+        store.record_creation(SITE, "_ga", "evil.com")
+        assert store.creator_of(SITE, "_ga") == "googletagmanager.com"
+
+    def test_scoped_per_site(self):
+        store = CreatorStore()
+        store.record_creation("a.com", "_ga", "x.com")
+        store.record_creation("b.com", "_ga", "y.com")
+        assert store.creator_of("a.com", "_ga") == "x.com"
+        assert store.creator_of("b.com", "_ga") == "y.com"
+
+    def test_forget(self):
+        store = CreatorStore()
+        store.record_creation(SITE, "tmp", "x.com")
+        store.forget(SITE, "tmp")
+        assert store.creator_of(SITE, "tmp") is None
+
+    def test_known_cookies(self):
+        store = CreatorStore()
+        store.record_creation(SITE, "a", "x.com")
+        store.record_creation(SITE, "b", "y.com")
+        store.record_creation("other.com", "c", "z.com")
+        assert store.known_cookies(SITE) == {"a": "x.com", "b": "y.com"}
+
+    def test_len(self):
+        store = CreatorStore()
+        store.record_creation(SITE, "a", "x.com")
+        assert len(store) == 1

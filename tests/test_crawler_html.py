@@ -1,0 +1,35 @@
+"""Site markup rendering agrees with what the crawler executes."""
+
+import numpy as np
+import pytest
+
+from repro.browser.html import extract_scripts
+from repro.crawler.crawler import Crawler, render_site_html
+
+
+class TestSiteHtml:
+    def test_markup_matches_executed_scripts(self, population):
+        crawler = Crawler(population)
+        for site in population.successful_sites()[:25]:
+            markup = render_site_html(site, population.services)
+            parsed = extract_scripts(markup)
+            built = crawler._build_scripts(
+                site, np.random.default_rng([2025, site.rank]))
+            markup_external = [s.src for s in parsed if not s.is_inline]
+            built_external = [str(s.url) for s in built if s.url is not None]
+            assert markup_external == built_external
+            markup_inline = sum(1 for s in parsed if s.is_inline)
+            built_inline = sum(1 for s in built if s.url is None)
+            assert markup_inline == built_inline
+
+    def test_markup_has_clickable_links(self, population):
+        site = population.successful_sites()[0]
+        markup = render_site_html(site, population.services)
+        assert "<a href=" in markup
+
+    def test_inline_snippet_writes_cookie(self, population):
+        sites = [s for s in population.successful_sites()
+                 if s.has_inline_script]
+        markup = render_site_html(sites[0], population.services)
+        inline = [s for s in extract_scripts(markup) if s.is_inline]
+        assert inline and "inline_pref" in inline[0].body

@@ -1,0 +1,77 @@
+"""DNS resolver and CNAME cloaking."""
+
+import pytest
+
+from repro.net.dns import CnameChainError, Resolver
+
+
+class TestResolver:
+    def test_unregistered_resolves_to_self(self):
+        resolver = Resolver()
+        assert resolver.canonical_name("example.com") == "example.com"
+
+    def test_single_cname(self):
+        resolver = Resolver()
+        resolver.register("metrics.site.com", cname="tracker.example")
+        assert resolver.canonical_name("metrics.site.com") == "tracker.example"
+
+    def test_chain(self):
+        resolver = Resolver()
+        resolver.register("a.com", cname="b.com")
+        resolver.register("b.com", cname="c.com")
+        assert resolver.resolve_chain("a.com") == ["a.com", "b.com", "c.com"]
+
+    def test_loop_detected(self):
+        resolver = Resolver()
+        resolver.register("a.com", cname="b.com")
+        resolver.register("b.com", cname="a.com")
+        with pytest.raises(CnameChainError):
+            resolver.canonical_name("a.com")
+
+    def test_self_loop_rejected_at_registration(self):
+        resolver = Resolver()
+        with pytest.raises(CnameChainError):
+            resolver.register("a.com", cname="a.com")
+
+    def test_chain_too_long(self):
+        resolver = Resolver(max_chain=3)
+        for i in range(6):
+            resolver.register(f"h{i}.com", cname=f"h{i+1}.com")
+        with pytest.raises(CnameChainError):
+            resolver.canonical_name("h0.com")
+
+    def test_case_normalization(self):
+        resolver = Resolver()
+        resolver.register("Metrics.Site.COM", cname="Tracker.Example")
+        assert resolver.canonical_name("metrics.site.com") == "tracker.example"
+
+
+class TestCloaking:
+    def test_is_cloaked(self):
+        resolver = Resolver()
+        resolver.add_cname_cloak("metrics.site.com", "collect.tracker.io")
+        assert resolver.is_cloaked("metrics.site.com")
+
+    def test_same_site_cname_not_cloaked(self):
+        resolver = Resolver()
+        resolver.register("www.site.com", cname="origin.site.com")
+        assert not resolver.is_cloaked("www.site.com")
+
+    def test_uncloaked_domain(self):
+        resolver = Resolver()
+        resolver.add_cname_cloak("metrics.site.com", "collect.tracker.io")
+        assert resolver.uncloaked_domain("metrics.site.com") == "tracker.io"
+
+    def test_uncloaked_domain_without_cname(self):
+        resolver = Resolver()
+        assert resolver.uncloaked_domain("www.site.com") == "site.com"
+
+    def test_not_cloaked_plain(self):
+        assert not Resolver().is_cloaked("example.com")
+
+    def test_records_listing(self):
+        resolver = Resolver()
+        resolver.register("a.com")
+        resolver.register("b.com", cname="c.com")
+        names = {record.name for record in resolver.records()}
+        assert names == {"a.com", "b.com"}

@@ -1,0 +1,155 @@
+"""DOM mutation attribution and frame-tree SOP."""
+
+import pytest
+
+from repro.browser.dom import Document
+from repro.browser.frames import Frame, SopViolation
+from repro.browser.scripts import Script
+from repro.browser.stack import CallStack
+from repro.net.url import parse_url
+
+
+@pytest.fixture
+def dom_env():
+    stack = CallStack()
+    document = Document(stack.current_script, stack.snapshot)
+    return stack, document
+
+
+class TestDocument:
+    def test_create_element_records_owner(self, dom_env):
+        stack, document = dom_env
+        script = Script.external("https://a.com/x.js")
+        with stack.executing(script):
+            element = document.create_element("div")
+        assert element.owner is script
+
+    def test_markup_element_has_no_owner(self, dom_env):
+        _stack, document = dom_env
+        assert document.create_element("div").owner is None
+
+    def test_mutations_attributed(self, dom_env):
+        stack, document = dom_env
+        script = Script.external("https://a.com/x.js")
+        with stack.executing(script):
+            element = document.create_element("div")
+            document.body.append_child(element)
+        assert document.mutations[-1].actor is script
+
+    def test_cross_script_mutation(self, dom_env):
+        stack, document = dom_env
+        creator = Script.external("https://a.com/x.js")
+        modifier = Script.external("https://b.com/y.js")
+        with stack.executing(creator):
+            element = document.create_element("ins")
+            document.body.append_child(element)
+        with stack.executing(modifier):
+            element.set_style("display", "none")
+        assert document.mutations[-1].is_cross_script
+        assert document.cross_script_mutations()
+
+    def test_same_domain_not_cross(self, dom_env):
+        stack, document = dom_env
+        creator = Script.external("https://a.com/x.js")
+        sibling = Script.external("https://cdn.a.com/y.js")
+        with stack.executing(creator):
+            element = document.create_element("div")
+        with stack.executing(sibling):
+            element.set_text("hello")
+        assert not document.mutations[-1].is_cross_script
+
+    def test_get_element_by_id(self, dom_env):
+        _stack, document = dom_env
+        element = document.create_element("div")
+        element.set_attribute("id", "target")
+        document.body.append_child(element)
+        assert document.get_element_by_id("target") is element
+        assert document.get_element_by_id("missing") is None
+
+    def test_get_elements_by_tag(self, dom_env):
+        _stack, document = dom_env
+        for _ in range(3):
+            document.body.append_child(document.create_element("p"))
+        assert len(document.get_elements_by_tag("p")) == 3
+
+    def test_remove_element(self, dom_env):
+        _stack, document = dom_env
+        element = document.create_element("div")
+        document.body.append_child(element)
+        element.remove()
+        assert element.parent is None
+        assert element not in document.body.children
+        assert document.mutations[-1].kind == "remove"
+
+    def test_reparenting(self, dom_env):
+        _stack, document = dom_env
+        a = document.create_element("div")
+        b = document.create_element("div")
+        document.body.append_child(a)
+        document.body.append_child(b)
+        b.append_child(a)
+        assert a.parent is b
+        assert a not in document.body.children
+
+    def test_mutation_kinds(self, dom_env):
+        stack, document = dom_env
+        script = Script.external("https://a.com/x.js")
+        with stack.executing(script):
+            element = document.create_element("div")
+            document.body.append_child(element)
+            element.set_attribute("class", "x")
+            element.set_text("t")
+            element.set_style("color", "red")
+            element.remove()
+        kinds = [m.kind for m in document.mutations]
+        assert kinds == ["insert", "set_attribute", "set_text",
+                        "set_style", "remove"]
+
+    def test_descendants(self, dom_env):
+        _stack, document = dom_env
+        child = document.create_element("div")
+        grand = document.create_element("span")
+        document.body.append_child(child)
+        child.append_child(grand)
+        tags = [e.tag for e in document.body.descendants()]
+        assert tags == ["div", "span"]
+
+
+class TestFrames:
+    def test_main_frame(self):
+        frame = Frame(parse_url("https://site.com/"))
+        assert frame.is_main
+        assert frame.top is frame
+
+    def test_same_origin_iframe_allowed(self):
+        main = Frame(parse_url("https://site.com/"))
+        iframe = Frame(parse_url("https://site.com/embed"), parent=main)
+        assert main.can_access(iframe)
+        main.require_access(iframe)  # no raise
+
+    def test_cross_origin_iframe_blocked(self):
+        main = Frame(parse_url("https://site.com/"))
+        iframe = Frame(parse_url("https://ads.example.com/frame"), parent=main)
+        assert not iframe.can_access(main)
+        with pytest.raises(SopViolation):
+            iframe.require_access(main)
+
+    def test_subdomain_iframe_is_cross_origin(self):
+        # SOP is exact-host: same site is NOT enough (§2.1).
+        main = Frame(parse_url("https://site.com/"))
+        iframe = Frame(parse_url("https://sub.site.com/"), parent=main)
+        assert not main.can_access(iframe)
+
+    def test_sandboxed_frame_opaque(self):
+        main = Frame(parse_url("https://site.com/"))
+        sandbox = Frame(parse_url("https://site.com/ad"), parent=main,
+                        sandboxed=True)
+        assert not sandbox.can_access(main)
+        assert not sandbox.can_access(sandbox)
+
+    def test_descendants(self):
+        main = Frame(parse_url("https://site.com/"))
+        child = Frame(parse_url("https://a.com/"), parent=main)
+        grand = Frame(parse_url("https://b.com/"), parent=child)
+        assert main.descendants() == [child, grand]
+        assert grand.top is main

@@ -1,0 +1,53 @@
+"""Entity consolidation (Tracker Radar substitute)."""
+
+from repro.analysis.entities import EntityMap, default_entity_map
+
+
+class TestEntityMap:
+    def test_catalog_services_mapped(self):
+        entities = default_entity_map()
+        assert entities.entity_of("googletagmanager.com") == "Google"
+        assert entities.entity_of("facebook.net") == "Meta"
+        assert entities.entity_of("cdn-cookieyes.com") == "CookieYes"
+
+    def test_host_normalized_to_etld1(self):
+        entities = default_entity_map()
+        assert entities.entity_of("bat.bing.com") == "Microsoft"
+        assert entities.entity_of("snap.licdn.com") == "LinkedIn"
+
+    def test_corporate_groupings(self):
+        entities = default_entity_map()
+        assert entities.same_entity("facebook.com", "fbcdn.net")
+        assert entities.same_entity("microsoft.com", "live.com")
+        assert entities.same_entity("criteo.com", "criteo.net")
+        assert entities.same_entity("hubspot.com", "hsforms.net")
+
+    def test_cross_entity(self):
+        entities = default_entity_map()
+        assert not entities.same_entity("facebook.com", "criteo.com")
+
+    def test_unknown_falls_back_to_domain(self):
+        entities = default_entity_map()
+        assert entities.entity_of("totally-unknown.example") == \
+            "totally-unknown.example"
+        assert entities.same_entity("sub.unknown.example", "unknown.example")
+
+    def test_none_input(self):
+        entities = default_entity_map()
+        assert entities.entity_of(None) is None
+        assert not entities.same_entity(None, "x.com")
+
+    def test_known_check(self):
+        entities = default_entity_map()
+        assert entities.known("googletagmanager.com")
+        assert not entities.known("nope.example")
+
+    def test_custom_map(self):
+        entities = EntityMap({"a.com": "A", "b.com": "A"})
+        assert entities.same_entity("a.com", "b.com")
+        assert len(entities) == 2
+
+    def test_destination_only_entities(self):
+        entities = default_entity_map()
+        assert entities.entity_of("magnite.com") == "Magnite"
+        assert entities.entity_of("airbnb.com") == "Airbnb"

@@ -1,0 +1,182 @@
+"""Event loop, microtasks, timers, and promises."""
+
+import pytest
+
+from repro.browser.events import Clock, EventLoop, Promise
+
+
+class TestClock:
+    def test_advance(self):
+        clock = Clock()
+        clock.advance(5.0)
+        assert clock.now() == 5.0
+
+    def test_no_backwards(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1)
+
+
+class TestEventLoop:
+    def test_tasks_run_in_order(self):
+        loop = EventLoop()
+        order = []
+        loop.queue_task(lambda: order.append(1))
+        loop.queue_task(lambda: order.append(2))
+        loop.run_until_idle()
+        assert order == [1, 2]
+
+    def test_microtasks_before_tasks(self):
+        loop = EventLoop()
+        order = []
+        loop.queue_task(lambda: order.append("task"))
+        loop.queue_microtask(lambda: order.append("micro"))
+        loop.run_until_idle()
+        assert order == ["micro", "task"]
+
+    def test_microtasks_drain_between_tasks(self):
+        loop = EventLoop()
+        order = []
+
+        def task_one():
+            order.append("t1")
+            loop.queue_microtask(lambda: order.append("m1"))
+
+        loop.queue_task(task_one)
+        loop.queue_task(lambda: order.append("t2"))
+        loop.run_until_idle()
+        assert order == ["t1", "m1", "t2"]
+
+    def test_timers_advance_clock(self):
+        loop = EventLoop()
+        fired = []
+        loop.set_timeout(lambda: fired.append(loop.clock.now()), 2.5)
+        loop.run_until_idle()
+        assert fired == [2.5]
+
+    def test_timers_fire_in_due_order(self):
+        loop = EventLoop()
+        order = []
+        loop.set_timeout(lambda: order.append("late"), 5.0)
+        loop.set_timeout(lambda: order.append("early"), 1.0)
+        loop.run_until_idle()
+        assert order == ["early", "late"]
+
+    def test_equal_due_preserves_insertion_order(self):
+        loop = EventLoop()
+        order = []
+        loop.set_timeout(lambda: order.append(1), 1.0)
+        loop.set_timeout(lambda: order.append(2), 1.0)
+        loop.run_until_idle()
+        assert order == [1, 2]
+
+    def test_clear_timeout(self):
+        loop = EventLoop()
+        fired = []
+        timer = loop.set_timeout(lambda: fired.append(1), 1.0)
+        loop.clear_timeout(timer)
+        loop.run_until_idle()
+        assert fired == []
+
+    def test_pending_property(self):
+        loop = EventLoop()
+        assert not loop.pending
+        loop.queue_task(lambda: None)
+        assert loop.pending
+        loop.run_until_idle()
+        assert not loop.pending
+
+    def test_max_time_bound(self):
+        loop = EventLoop()
+        fired = []
+        loop.set_timeout(lambda: fired.append(1), 10_000.0)
+        loop.run_until_idle(max_time=100.0)
+        assert fired == []
+
+    def test_microtask_storm_detected(self):
+        loop = EventLoop()
+
+        def spawn():
+            loop.queue_microtask(spawn)
+
+        loop.queue_microtask(spawn)
+        with pytest.raises(RuntimeError):
+            loop.run_until_idle()
+
+    def test_timer_callbacks_can_schedule(self):
+        loop = EventLoop()
+        order = []
+        loop.set_timeout(
+            lambda: (order.append("a"),
+                     loop.set_timeout(lambda: order.append("b"), 1.0)), 1.0)
+        loop.run_until_idle()
+        assert order == ["a", "b"]
+
+
+class TestPromise:
+    def test_resolve_then(self):
+        loop = EventLoop()
+        promise = Promise(loop)
+        got = []
+        promise.then(got.append)
+        promise.resolve(42)
+        loop.run_until_idle()
+        assert got == [42]
+
+    def test_then_after_settled(self):
+        loop = EventLoop()
+        promise = Promise(loop)
+        promise.resolve("x")
+        got = []
+        promise.then(got.append)
+        loop.run_until_idle()
+        assert got == ["x"]
+
+    def test_chaining(self):
+        loop = EventLoop()
+        promise = Promise(loop)
+        got = []
+        promise.then(lambda v: v + 1).then(got.append)
+        promise.resolve(1)
+        loop.run_until_idle()
+        assert got == [2]
+
+    def test_rejection_propagates(self):
+        loop = EventLoop()
+        promise = Promise(loop)
+        errors = []
+        promise.then(lambda v: v).then(None, lambda e: errors.append(str(e)))
+        promise.reject(RuntimeError("boom"))
+        loop.run_until_idle()
+        assert errors == ["boom"]
+
+    def test_handler_exception_rejects_chain(self):
+        loop = EventLoop()
+        promise = Promise(loop)
+        errors = []
+
+        def bad(_):
+            raise ValueError("bad handler")
+
+        promise.then(bad).then(None, lambda e: errors.append(type(e).__name__))
+        promise.resolve(1)
+        loop.run_until_idle()
+        assert errors == ["ValueError"]
+
+    def test_result_raises_when_pending(self):
+        promise = Promise(EventLoop())
+        with pytest.raises(RuntimeError):
+            promise.result()
+
+    def test_result_raises_rejection(self):
+        loop = EventLoop()
+        promise = Promise(loop)
+        promise.reject(ValueError("nope"))
+        with pytest.raises(ValueError):
+            promise.result()
+
+    def test_double_settle_ignored(self):
+        loop = EventLoop()
+        promise = Promise(loop)
+        promise.resolve(1)
+        promise.resolve(2)
+        assert promise.result() == 1

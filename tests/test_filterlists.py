@@ -1,0 +1,172 @@
+"""The Adblock-Plus filter engine and the embedded lists."""
+
+import pytest
+
+from repro.analysis.filterlists import (
+    FilterList,
+    FilterRule,
+    FilterRuleError,
+    RuleOptions,
+)
+from repro.analysis.lists_data import LIST_NAMES, build_lists, combined_list
+
+
+class TestRuleParsing:
+    def test_domain_anchor(self):
+        rule = FilterRule("||tracker.com^")
+        assert rule.anchor_domain == "tracker.com"
+        assert rule.matches("https://tracker.com/t.js")
+        assert rule.matches("https://cdn.tracker.com/t.js")
+        assert not rule.matches("https://nottracker.com/t.js")
+
+    def test_domain_anchor_separator(self):
+        rule = FilterRule("||ads.com^")
+        assert rule.matches("https://ads.com/x")
+        assert rule.matches("https://ads.com")
+        assert not rule.matches("https://ads.com.evil.net/x")
+
+    def test_start_anchor(self):
+        rule = FilterRule("|https://exact.com/path")
+        assert rule.matches("https://exact.com/path/x")
+        assert not rule.matches("https://other.com/https://exact.com/path")
+
+    def test_end_anchor(self):
+        rule = FilterRule("/analytics.js|")
+        assert rule.matches("https://x.com/analytics.js")
+        assert not rule.matches("https://x.com/analytics.js?v=2")
+
+    def test_plain_substring(self):
+        rule = FilterRule("/pagead/")
+        assert rule.matches("https://x.com/pagead/js/ads.js")
+
+    def test_wildcard(self):
+        rule = FilterRule("/banner/*/ad")
+        assert rule.matches("https://x.com/banner/300x250/ad.png")
+        assert not rule.matches("https://x.com/banner/img.png")
+
+    def test_comment_rejected(self):
+        with pytest.raises(FilterRuleError):
+            FilterRule("! this is a comment")
+
+    def test_cosmetic_rule_rejected(self):
+        with pytest.raises(FilterRuleError):
+            FilterRule("example.com##.ad-banner")
+
+    def test_empty_rejected(self):
+        with pytest.raises(FilterRuleError):
+            FilterRule("   ")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(FilterRuleError):
+            FilterRule("||x.com^$websocket-frames")
+
+
+class TestRuleOptions:
+    def test_third_party_option(self):
+        rule = FilterRule("||t.com^$third-party")
+        assert rule.matches("https://t.com/x", is_third_party=True)
+        assert not rule.matches("https://t.com/x", is_third_party=False)
+
+    def test_first_party_only(self):
+        rule = FilterRule("||t.com^$~third-party")
+        assert rule.matches("https://t.com/x", is_third_party=False)
+        assert not rule.matches("https://t.com/x", is_third_party=True)
+
+    def test_resource_type_option(self):
+        rule = FilterRule("||t.com^$script")
+        assert rule.matches("https://t.com/x.js", resource_type="script")
+        assert not rule.matches("https://t.com/px.gif", resource_type="image")
+
+    def test_multiple_types(self):
+        rule = FilterRule("||t.com^$script,image")
+        assert rule.matches("https://t.com/x", resource_type="image")
+        assert rule.matches("https://t.com/x", resource_type="script")
+        assert not rule.matches("https://t.com/x", resource_type="xhr")
+
+    def test_domain_option_include(self):
+        rule = FilterRule("||t.com^$domain=news.com")
+        assert rule.matches("https://t.com/x", page_domain="news.com")
+        assert not rule.matches("https://t.com/x", page_domain="blog.com")
+
+    def test_domain_option_exclude(self):
+        rule = FilterRule("||t.com^$domain=~news.com")
+        assert not rule.matches("https://t.com/x", page_domain="news.com")
+        assert rule.matches("https://t.com/x", page_domain="blog.com")
+
+    def test_options_permit_api(self):
+        options = RuleOptions(resource_types=("script",), third_party=True)
+        assert options.permits(resource_type="script", is_third_party=True,
+                               page_domain="x.com")
+        assert not options.permits(resource_type="script",
+                                   is_third_party=False, page_domain="x.com")
+
+
+class TestFilterList:
+    def test_should_block(self):
+        flist = FilterList(["||tracker.com^", "! comment", "/pixel?"])
+        assert flist.should_block("https://cdn.tracker.com/t.js")
+        assert flist.should_block("https://x.com/pixel?id=1")
+        assert not flist.should_block("https://benign.com/app.js")
+
+    def test_exception_rule_wins(self):
+        flist = FilterList(["||cdn.com^", "@@||cdn.com/safe/"])
+        assert flist.should_block("https://cdn.com/ads/x.js")
+        assert not flist.should_block("https://cdn.com/safe/x.js")
+
+    def test_skipped_lines_recorded(self):
+        flist = FilterList(["! comment", "||ok.com^", "bad.com##.ad"])
+        assert len(flist.skipped) == 2
+        assert flist.rule_count == 1
+
+    def test_combine(self):
+        a = FilterList(["||a.com^"], name="a")
+        b = FilterList(["||b.com^"], name="b")
+        combined = FilterList.combine([a, b])
+        assert combined.should_block("https://a.com/x")
+        assert combined.should_block("https://b.com/x")
+
+    def test_domain_bucketing_walks_up(self):
+        flist = FilterList(["||tracker.co.uk^"])
+        assert flist.should_block("https://deep.sub.tracker.co.uk/x.js")
+
+
+class TestEmbeddedLists:
+    def test_nine_lists_built(self):
+        lists = build_lists()
+        assert set(lists) == set(LIST_NAMES)
+        assert len(LIST_NAMES) == 9
+
+    def test_known_trackers_blocked(self):
+        combined = combined_list()
+        for url in ("https://www.googletagmanager.com/gtm.js",
+                    "https://connect.facebook.net/en_US/fbevents.js",
+                    "https://bat.bing.com/bat.js",
+                    "https://cdn.cookielaw.org/scripttemplates/otSDKStub.js",
+                    "https://snap.licdn.com/li.lms-analytics/insight.min.js"):
+            assert combined.should_block(url, resource_type="script",
+                                         page_domain="site.com"), url
+
+    def test_libraries_not_blocked(self):
+        combined = combined_list()
+        for url in ("https://code.jquery.com/jquery-3.7.1.min.js",
+                    "https://cdn.jsdelivr.net/npm/bootstrap/dist/js/bootstrap.bundle.min.js",
+                    "https://fonts.googleapis.com/css2-loader.js"):
+            assert not combined.should_block(url, resource_type="script",
+                                             page_domain="site.com"), url
+
+    def test_unlisted_generic_trackers_missed(self):
+        # Filter lists have blind spots by design.
+        from repro.ecosystem.catalog import generic_services
+        combined = combined_list()
+        unlisted = [s for s in generic_services(240)
+                    if s.category == "advertising" and not s.tracking]
+        assert unlisted
+        assert not combined.should_block(unlisted[0].script_url,
+                                         resource_type="script",
+                                         page_domain="site.com")
+
+    def test_cmp_in_fanboy_annoyances(self):
+        lists = build_lists()
+        assert lists["fanboy-annoyances"].should_block(
+            "https://cdn-cookieyes.com/client_data/cookieyes.js",
+            page_domain="site.com")

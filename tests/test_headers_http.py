@@ -1,0 +1,95 @@
+"""HTTP headers multimap and request/response primitives."""
+
+from repro.net.headers import Headers
+from repro.net.http import Request, Response, ResourceType
+from repro.net.url import parse_url
+
+
+class TestHeaders:
+    def test_add_and_get(self):
+        headers = Headers()
+        headers.add("Content-Type", "text/html")
+        assert headers.get("content-type") == "text/html"
+
+    def test_case_insensitive(self):
+        headers = Headers([("X-Foo", "1")])
+        assert headers.get("x-foo") == "1"
+        assert "X-FOO" in headers
+
+    def test_multiple_set_cookie_kept_separate(self):
+        headers = Headers()
+        headers.add("Set-Cookie", "a=1")
+        headers.add("Set-Cookie", "b=2; Path=/")
+        assert headers.get_all("set-cookie") == ["a=1", "b=2; Path=/"]
+
+    def test_get_returns_first(self):
+        headers = Headers([("k", "1"), ("k", "2")])
+        assert headers.get("k") == "1"
+
+    def test_get_default(self):
+        assert Headers().get("missing", "d") == "d"
+
+    def test_set_replaces_all(self):
+        headers = Headers([("k", "1"), ("k", "2")])
+        headers.set("k", "3")
+        assert headers.get_all("k") == ["3"]
+
+    def test_remove(self):
+        headers = Headers([("k", "1"), ("other", "x")])
+        headers.remove("k")
+        assert "k" not in headers
+        assert "other" in headers
+
+    def test_len_and_iter(self):
+        headers = Headers([("a", "1"), ("b", "2")])
+        assert len(headers) == 2
+        assert list(headers) == [("a", "1"), ("b", "2")]
+
+    def test_copy_is_independent(self):
+        original = Headers([("a", "1")])
+        clone = original.copy()
+        clone.add("b", "2")
+        assert "b" not in original
+
+    def test_to_dict(self):
+        headers = Headers([("a", "1"), ("a", "2")])
+        assert headers.to_dict() == {"a": ["1", "2"]}
+
+    def test_equality(self):
+        assert Headers([("a", "1")]) == Headers([("a", "1")])
+        assert Headers([("a", "1")]) != Headers([("a", "2")])
+
+    def test_values_stripped(self):
+        headers = Headers()
+        headers.add("k", "  padded  ")
+        assert headers.get("k") == "padded"
+
+
+class TestRequestResponse:
+    def test_request_ids_unique(self):
+        url = parse_url("https://example.com/")
+        a = Request(url=url)
+        b = Request(url=url)
+        assert a.request_id != b.request_id
+
+    def test_navigation_flag(self):
+        url = parse_url("https://example.com/")
+        assert Request(url=url, resource_type=ResourceType.DOCUMENT).is_navigation
+        assert not Request(url=url, resource_type=ResourceType.SCRIPT).is_navigation
+
+    def test_response_ok(self):
+        url = parse_url("https://example.com/")
+        assert Response(url=url, status=204).ok
+        assert not Response(url=url, status=404).ok
+
+    def test_set_cookie_headers(self):
+        url = parse_url("https://example.com/")
+        headers = Headers()
+        headers.add("Set-Cookie", "a=1")
+        headers.add("set-cookie", "b=2")
+        response = Response(url=url, headers=headers)
+        assert response.set_cookie_headers() == ["a=1", "b=2"]
+
+    def test_resource_type_values(self):
+        assert ResourceType.SCRIPT.value == "script"
+        assert ResourceType.BEACON.value == "beacon"

@@ -1,0 +1,121 @@
+"""HTML layer: rendering, tokenizing, script extraction, round-trips."""
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.browser.html import (
+    HtmlParseError,
+    HtmlParser,
+    extract_scripts,
+    render_page_html,
+)
+
+
+class TestParser:
+    def test_simple_document(self):
+        parser = HtmlParser("<html><head></head><body><p>x</p></body></html>")
+        names = [t.name for t in parser.tags]
+        assert names == ["html", "head", "body", "p"]
+
+    def test_attributes_quoted(self):
+        parser = HtmlParser('<div id="main" class=\'wide\'></div>')
+        assert parser.tags[0].attributes == {"id": "main", "class": "wide"}
+
+    def test_attributes_unquoted_and_boolean(self):
+        parser = HtmlParser("<script src=/x.js async></script>")
+        script = parser.scripts[0]
+        assert script.src == "/x.js"
+        assert "async" in script.attributes
+
+    def test_comments_skipped(self):
+        parser = HtmlParser("<!-- <script src='ghost.js'></script> --><p></p>")
+        assert parser.scripts == []
+        assert parser.tags[0].name == "p"
+
+    def test_doctype_and_close_tags_skipped(self):
+        parser = HtmlParser("<!DOCTYPE html><div></div>")
+        assert [t.name for t in parser.tags] == ["div"]
+
+    def test_external_script(self):
+        scripts = extract_scripts(
+            '<script src="https://cdn.t.com/t.js"></script>')
+        assert scripts[0].src == "https://cdn.t.com/t.js"
+        assert not scripts[0].is_inline
+
+    def test_inline_script_body(self):
+        scripts = extract_scripts("<script>document.cookie = 'a=1';</script>")
+        assert scripts[0].is_inline
+        assert "a=1" in scripts[0].body
+
+    def test_script_order_preserved(self):
+        markup = ('<script src="https://a.com/1.js"></script>'
+                  "<script>inline()</script>"
+                  '<script src="https://b.com/2.js"></script>')
+        scripts = extract_scripts(markup)
+        assert [s.src for s in scripts] == ["https://a.com/1.js", None,
+                                            "https://b.com/2.js"]
+
+    def test_script_body_with_angle_brackets(self):
+        scripts = extract_scripts("<script>if (a < b) { run(); }</script>")
+        assert "a < b" in scripts[0].body
+
+    def test_self_closing_tag(self):
+        parser = HtmlParser('<meta charset="utf-8"/><p></p>')
+        assert parser.tags[0].self_closing
+
+    def test_unterminated_script_raises(self):
+        with pytest.raises(HtmlParseError):
+            HtmlParser("<script>forever")
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(HtmlParseError):
+            HtmlParser("<!-- never closed")
+
+    def test_unterminated_tag_raises(self):
+        with pytest.raises(HtmlParseError):
+            HtmlParser("<div class='x'")
+
+
+class TestRenderRoundTrip:
+    def test_render_then_extract(self):
+        srcs = ["https://www.googletagmanager.com/gtm.js",
+                "https://connect.facebook.net/en_US/fbevents.js"]
+        markup = render_page_html(title="shop", script_srcs=srcs,
+                                  inline_bodies=["init();"],
+                                  links=["/about", "/cart"])
+        scripts = extract_scripts(markup)
+        assert [s.src for s in scripts] == srcs + [None]
+        assert scripts[-1].body == "init();"
+
+    def test_links_rendered(self):
+        markup = render_page_html(title="t", script_srcs=[],
+                                  links=["/a", "/b"])
+        parser = HtmlParser(markup)
+        hrefs = [t.attributes["href"] for t in parser.tags if t.name == "a"]
+        assert hrefs == ["/a", "/b"]
+
+    def test_structure_tags_present(self):
+        markup = render_page_html(title="t", script_srcs=[])
+        names = {t.name for t in HtmlParser(markup).tags}
+        assert {"html", "head", "body", "header", "main", "footer"} <= names
+
+
+_url_chars = st.text(alphabet=string.ascii_lowercase + string.digits,
+                     min_size=1, max_size=12)
+
+
+@given(st.lists(_url_chars, min_size=0, max_size=6),
+       st.lists(st.text(alphabet=string.ascii_letters + " ();='",
+                        max_size=30), min_size=0, max_size=3))
+def test_roundtrip_property(hosts, bodies):
+    """render → extract preserves the script list exactly."""
+    srcs = [f"https://{host}.example/app.js" for host in hosts]
+    bodies = [b for b in bodies if "</" not in b and "<" not in b]
+    markup = render_page_html(title="t", script_srcs=srcs,
+                              inline_bodies=bodies)
+    scripts = extract_scripts(markup)
+    assert [s.src for s in scripts] == srcs + [None] * len(bodies)
+    assert [s.body for s in scripts[len(srcs):]] == [b.strip() for b in bodies]

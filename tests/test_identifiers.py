@@ -1,0 +1,87 @@
+"""Identifier format generators."""
+
+import numpy as np
+import pytest
+
+from repro.ecosystem.identifiers import IdFactory
+
+
+@pytest.fixture
+def ids():
+    return IdFactory(np.random.default_rng(42))
+
+
+class TestFormats:
+    def test_ga_client_id_format(self, ids):
+        value = ids.ga_client_id()
+        parts = value.split(".")
+        assert parts[0] == "GA1"
+        assert parts[1] == "1"
+        assert len(parts[2]) == 9 and parts[2].isdigit()
+        assert parts[3].isdigit()
+
+    def test_fbp_format(self, ids):
+        parts = ids.fbp().split(".")
+        assert parts[0] == "fb"
+        assert parts[1] == "1"
+        assert len(parts[3]) == 18
+
+    def test_awl_format(self, ids):
+        count, ts, session = ids.awl().split(".")
+        assert count.isdigit() and ts.isdigit()
+        assert len(session) == 16
+
+    def test_us_privacy_has_detectable_segment(self, ids):
+        # IAB string + timestamp — the suffix is ≥8 alnum chars, which is
+        # what makes Table 2's consent-signal row detectable.
+        value = ids.us_privacy()
+        assert value.startswith("1Y")
+        assert any(len(seg) >= 8 for seg in value.split("."))
+
+    def test_uuid_shape(self, ids):
+        parts = ids.uuid().split("-")
+        assert [len(p) for p in parts] == [8, 4, 4, 4, 12]
+
+    def test_optanon_consent_fields(self, ids):
+        value = ids.optanon_consent()
+        assert "consentId=" in value and "groups=" in value
+
+    def test_utma_fields(self, ids):
+        assert len(ids.utma().split(".")) == 6
+
+    def test_mkto_trk(self, ids):
+        assert ids.mkto_trk().startswith("id:")
+
+    def test_short_flag_below_threshold(self, ids):
+        assert len(ids.short_flag()) < 8
+
+    def test_session_token_long(self, ids):
+        assert len(ids.session_token()) == 40
+
+    def test_hex32(self, ids):
+        value = ids.hex_32()
+        assert len(value) == 32
+        assert all(c in "0123456789abcdef" for c in value)
+
+    def test_utag_main(self, ids):
+        assert ids.utag_main().startswith("v_id:")
+
+    def test_generic_id_custom_length(self, ids):
+        assert len(ids.generic_id(50)) == 50
+
+    def test_timestamps_plausible(self, ids):
+        assert ids.timestamp() > 1_700_000_000
+        assert ids.timestamp_ms() > 1_700_000_000_000
+
+
+class TestDeterminism:
+    def test_same_seed_same_values(self):
+        a = IdFactory(np.random.default_rng(7))
+        b = IdFactory(np.random.default_rng(7))
+        assert a.ga_client_id() == b.ga_client_id()
+        assert a.fbp() == b.fbp()
+
+    def test_different_seeds_differ(self):
+        a = IdFactory(np.random.default_rng(1))
+        b = IdFactory(np.random.default_rng(2))
+        assert a.uuid() != b.uuid()

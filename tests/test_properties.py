@@ -1,0 +1,208 @@
+"""Property-based tests on core data structures and invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.exfiltration import split_candidates
+from repro.analysis.filterlists import FilterRule, FilterRuleError
+from repro.cookies.cookie import (
+    Cookie,
+    default_path,
+    domain_match,
+    parse_set_cookie,
+    path_match,
+)
+from repro.cookies.jar import CookieJar
+from repro.cookies.serialize import parse_cookie_string, to_cookie_string
+from repro.encoding import b64, encoded_forms, md5_hex, sha1_hex
+from repro.net.psl import public_suffix, registrable_domain
+from repro.net.url import encode_qs, parse_qs, parse_url
+
+# -- strategies ----------------------------------------------------------
+
+label = st.text(alphabet=string.ascii_lowercase + string.digits,
+                min_size=1, max_size=10)
+hostnames = st.lists(label, min_size=1, max_size=4).map(".".join)
+cookie_names = st.text(alphabet=string.ascii_letters + "_-", min_size=1,
+                       max_size=16)
+cookie_values = st.text(alphabet=string.ascii_letters + string.digits + "._-",
+                        min_size=0, max_size=40)
+
+
+# -- PSL -----------------------------------------------------------------
+
+@given(hostnames)
+def test_registrable_domain_is_suffix_of_host(host):
+    domain = registrable_domain(host)
+    if domain is not None:
+        assert host == domain or host.endswith("." + domain)
+
+
+@given(hostnames)
+def test_public_suffix_is_suffix_of_registrable(host):
+    domain = registrable_domain(host)
+    suffix = public_suffix(host)
+    if domain is not None and suffix is not None:
+        assert domain.endswith(suffix)
+        # eTLD+1 is exactly one label longer than the suffix.
+        assert len(domain.split(".")) == len(suffix.split(".")) + 1
+
+
+@given(hostnames)
+def test_registrable_domain_idempotent(host):
+    domain = registrable_domain(host)
+    if domain is not None and "." in domain:
+        assert registrable_domain(domain) == domain
+
+
+@given(hostnames, label)
+def test_subdomain_preserves_registrable_domain(host, sub):
+    from repro.net.psl import DEFAULT_PSL
+    combined = f"{sub}.{host}"
+    if DEFAULT_PSL.is_ip(host) or DEFAULT_PSL.is_ip(combined):
+        return  # adding a label can turn "0.0.0" into the IP "0.0.0.0"
+    domain = registrable_domain(host)
+    if domain is not None:
+        assert registrable_domain(combined) == domain
+
+
+# -- URL ------------------------------------------------------------------
+
+@given(hostnames, st.integers(min_value=1, max_value=65535))
+def test_url_str_reparses_identically(host, port):
+    url = parse_url(f"https://{host}:{port}/p/a?x=1#f")
+    assert parse_url(str(url)) == url
+
+
+@given(st.dictionaries(label, label, min_size=0, max_size=5))
+def test_qs_roundtrip(params):
+    parsed = parse_qs(encode_qs(params))
+    assert {k: v[0] for k, v in parsed.items()} == params
+
+
+# -- cookie matching --------------------------------------------------------
+
+@given(hostnames)
+def test_domain_match_reflexive(host):
+    assert domain_match(host, host)
+
+
+@given(hostnames, label)
+def test_domain_match_subdomain(host, sub):
+    assert domain_match(f"{sub}.{host}", host)
+
+
+@given(st.text(alphabet=string.ascii_lowercase + "/", max_size=20))
+def test_path_match_reflexive(path):
+    path = "/" + path.lstrip("/")
+    assert path_match(path, path)
+
+
+@given(st.text(alphabet=string.ascii_lowercase + "/", max_size=20))
+def test_default_path_always_absolute(path):
+    assert default_path(path).startswith("/")
+
+
+@given(cookie_names, cookie_values, hostnames)
+def test_parse_set_cookie_total(name, value, host):
+    """Parsing never raises; it returns a Cookie or None."""
+    result = parse_set_cookie(f"{name}={value}", request_host=host)
+    if result is not None:
+        assert result.name == name.strip()
+        assert result.domain == host.lower().rstrip(".")
+
+
+# -- cookie string serialization -----------------------------------------------
+
+@given(st.lists(st.tuples(cookie_names, cookie_values), min_size=0,
+                max_size=8))
+def test_cookie_string_roundtrip(pairs):
+    # Deduplicate names the way a jar would (one value per name+key).
+    unique = {}
+    for name, value in pairs:
+        name = name.strip()
+        if name and ";" not in value:
+            unique[name] = value.strip().strip('"')
+    cookies = [Cookie(name=n, value=v, domain="e.com")
+               for n, v in unique.items()]
+    parsed = dict(parse_cookie_string(to_cookie_string(cookies)))
+    assert parsed == unique
+
+
+# -- jar invariants -----------------------------------------------------------
+
+@given(st.lists(st.tuples(cookie_names, cookie_values,
+                          st.sampled_from(["/", "/a", "/a/b"])),
+                min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_jar_no_duplicate_keys(writes):
+    jar = CookieJar()
+    for name, value, path in writes:
+        jar.set(Cookie(name=name.strip(), value=value, domain="e.com",
+                       path=path))
+    keys = [c.key for c in jar.all()]
+    assert len(keys) == len(set(keys))
+
+
+@given(st.lists(st.tuples(cookie_names, cookie_values), min_size=1,
+                max_size=20))
+@settings(max_examples=50)
+def test_jar_set_then_delete_leaves_nothing(writes):
+    jar = CookieJar()
+    for name, value in writes:
+        cookie = Cookie(name=name.strip(), value=value, domain="e.com")
+        jar.set(cookie)
+        jar.delete(cookie.name, cookie.domain, cookie.path)
+    assert len(jar) == 0
+
+
+# -- encodings ----------------------------------------------------------------
+
+@given(st.text(alphabet=string.ascii_letters + string.digits, min_size=1,
+               max_size=40))
+def test_encoded_forms_distinct_and_deterministic(value):
+    forms = encoded_forms(value)
+    assert forms[0] == value
+    assert forms == encoded_forms(value)
+    assert forms[2] == md5_hex(value) and len(forms[2]) == 32
+    assert forms[3] == sha1_hex(value) and len(forms[3]) == 40
+
+
+@given(st.text(alphabet=string.ascii_letters + string.digits, min_size=1,
+               max_size=60))
+def test_b64_no_padding(value):
+    assert "=" not in b64(value)
+
+
+# -- exfiltration candidates -----------------------------------------------------
+
+@given(st.text(max_size=80))
+def test_split_candidates_all_long_alnum(value):
+    for candidate in split_candidates(value):
+        assert len(candidate) >= 8
+        assert candidate.isalnum()
+
+
+@given(st.text(alphabet=string.ascii_letters + string.digits, min_size=8,
+               max_size=40),
+       st.sampled_from([".", "|", "-", "%", " "]))
+def test_split_candidates_finds_embedded_identifier(identifier, sep):
+    value = f"prefix{sep}{identifier}{sep}xx"
+    assert identifier in split_candidates(value)
+
+
+# -- filter rules ------------------------------------------------------------------
+
+@given(hostnames)
+def test_domain_anchor_rule_matches_own_domain(host):
+    rule = FilterRule(f"||{host}^")
+    assert rule.matches(f"https://{host}/x.js")
+    assert rule.matches(f"https://sub.{host}/x.js")
+
+
+@given(hostnames, label)
+def test_domain_anchor_rule_rejects_lookalike(host, prefix):
+    rule = FilterRule(f"||{host}^")
+    assert not rule.matches(f"https://{prefix}{host}.evil.test/x.js")

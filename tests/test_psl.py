@@ -1,0 +1,141 @@
+"""Public Suffix List and eTLD+1 extraction."""
+
+import pytest
+
+from repro.net.psl import (
+    DEFAULT_PSL,
+    PublicSuffixList,
+    etld_plus_one,
+    public_suffix,
+    registrable_domain,
+    same_site,
+)
+
+
+class TestPublicSuffix:
+    def test_simple_tld(self):
+        assert public_suffix("example.com") == "com"
+
+    def test_subdomain(self):
+        assert public_suffix("a.b.example.com") == "com"
+
+    def test_second_level_suffix(self):
+        assert public_suffix("example.co.uk") == "co.uk"
+
+    def test_bare_suffix(self):
+        assert public_suffix("co.uk") == "co.uk"
+
+    def test_unknown_tld_defaults_to_last_label(self):
+        assert public_suffix("example.zz") == "zz"
+
+    def test_platform_suffix(self):
+        assert public_suffix("mysite.github.io") == "github.io"
+
+    def test_case_insensitive(self):
+        assert public_suffix("EXAMPLE.COM") == "com"
+
+    def test_trailing_dot(self):
+        assert public_suffix("example.com.") == "com"
+
+    def test_empty_host(self):
+        assert public_suffix("") is None
+
+    def test_ipv4_has_no_suffix(self):
+        assert public_suffix("192.168.1.1") is None
+
+    def test_ipv6_has_no_suffix(self):
+        assert public_suffix("[2001:db8::1]") is None
+
+
+class TestWildcardAndException:
+    def test_wildcard_rule(self):
+        # "*.bd" — any label under .bd is a public suffix.
+        assert public_suffix("example.com.bd") == "com.bd"
+
+    def test_wildcard_registrable(self):
+        assert registrable_domain("www.example.com.bd") == "example.com.bd"
+
+    def test_exception_rule(self):
+        # "!www.ck" overrides "*.ck".
+        assert public_suffix("www.ck") == "ck"
+
+    def test_exception_registrable(self):
+        assert registrable_domain("www.ck") == "www.ck"
+
+    def test_wildcard_ck(self):
+        assert public_suffix("foo.other.ck") == "other.ck"
+
+
+class TestRegistrableDomain:
+    @pytest.mark.parametrize("host,expected", [
+        ("example.com", "example.com"),
+        ("www.example.com", "example.com"),
+        ("a.b.c.example.com", "example.com"),
+        ("example.co.uk", "example.co.uk"),
+        ("www.example.co.uk", "example.co.uk"),
+        ("cdn.shopifycloud.com", "shopifycloud.com"),
+        ("snap.licdn.com", "licdn.com"),
+        ("bat.bing.com", "bing.com"),
+        ("s.yimg.jp", "yimg.jp"),
+        ("mc.yandex.ru", "yandex.ru"),
+    ])
+    def test_known_hosts(self, host, expected):
+        assert registrable_domain(host) == expected
+
+    def test_bare_suffix_has_no_registrable(self):
+        assert registrable_domain("com") is None
+        assert registrable_domain("co.uk") is None
+
+    def test_ip_is_its_own_domain(self):
+        assert registrable_domain("10.0.0.1") == "10.0.0.1"
+
+    def test_etld_plus_one_alias(self):
+        assert etld_plus_one is registrable_domain
+
+    def test_empty(self):
+        assert registrable_domain("") is None
+
+    def test_cloudfront_is_registrable(self):
+        # Deliberately NOT a suffix here: the paper attributes scripts to
+        # cloudfront.net as a domain (Figure 2).
+        assert registrable_domain("d123.cloudfront.net") == "cloudfront.net"
+
+
+class TestSameSite:
+    def test_same_site_subdomains(self):
+        assert same_site("www.example.com", "cdn.example.com")
+
+    def test_different_sites(self):
+        assert not same_site("example.com", "example.org")
+
+    def test_suffix_not_same_site(self):
+        assert not same_site("a.co.uk", "b.co.uk")
+
+    def test_identical(self):
+        assert same_site("example.com", "example.com")
+
+    def test_facebook_fbcdn_not_same_site(self):
+        # Same entity (Meta) but different eTLD+1 — the Table 3
+        # functionality-breakage case relies on this distinction.
+        assert not same_site("facebook.com", "fbcdn.net")
+
+
+class TestCustomRules:
+    def test_custom_list(self):
+        psl = PublicSuffixList(["com", "foo.com"])
+        assert psl.public_suffix("a.foo.com") == "foo.com"
+        assert psl.registrable_domain("a.b.foo.com") == "b.foo.com"
+
+    def test_comments_skipped(self):
+        psl = PublicSuffixList(["// comment", "com"])
+        assert psl.public_suffix("x.com") == "com"
+
+    def test_longest_rule_wins(self):
+        psl = PublicSuffixList(["com", "foo.com", "bar.foo.com"])
+        assert psl.public_suffix("x.bar.foo.com") == "bar.foo.com"
+
+    def test_is_ip_detection(self):
+        assert DEFAULT_PSL.is_ip("127.0.0.1")
+        assert DEFAULT_PSL.is_ip("::1")
+        assert not DEFAULT_PSL.is_ip("1.2.3.com")
+        assert not DEFAULT_PSL.is_ip("999.com")

@@ -1,0 +1,133 @@
+"""Scripts, inclusion chains, and stack-trace attribution."""
+
+from repro.browser.scripts import InclusionKind, Script
+from repro.browser.stack import CallStack
+from repro.net.dns import Resolver
+
+
+class TestScript:
+    def test_external_attribution(self):
+        script = Script.external("https://cdn.tracker.com/t.js")
+        assert script.attributed_domain() == "tracker.com"
+
+    def test_inline_has_no_attribution(self):
+        script = Script.inline()
+        assert script.is_inline
+        assert script.attributed_domain() is None
+
+    def test_direct_inclusion(self):
+        script = Script.external("https://a.com/x.js")
+        assert script.inclusion_kind == InclusionKind.DIRECT
+        assert script.inclusion_depth == 0
+
+    def test_indirect_inclusion_chain(self):
+        parent = Script.external("https://gtm.com/gtm.js")
+        child = Script.external("https://pixel.com/p.js", parent=parent)
+        grandchild = Script.inline(parent=child)
+        assert child.inclusion_kind == InclusionKind.INDIRECT
+        assert grandchild.inclusion_depth == 2
+        assert [s.script_id for s in grandchild.inclusion_chain()] == \
+            [parent.script_id, child.script_id, grandchild.script_id]
+
+    def test_third_party_check(self):
+        script = Script.external("https://cdn.tracker.com/t.js")
+        assert script.is_third_party_on("site.com")
+        assert not script.is_third_party_on("tracker.com")
+
+    def test_inline_never_third_party(self):
+        assert not Script.inline().is_third_party_on("site.com")
+
+    def test_cloaked_script_attribution(self):
+        # URL says first-party; DNS says tracker (§8 CNAME cloaking).
+        resolver = Resolver()
+        resolver.add_cname_cloak("metrics.site.com", "collect.tracker.io")
+        script = Script.external("https://metrics.site.com/t.js")
+        assert script.attributed_domain() == "site.com"
+        assert script.uncloaked_domain(resolver) == "tracker.io"
+
+    def test_uncloaked_without_resolver(self):
+        script = Script.external("https://cdn.tracker.com/t.js")
+        assert script.uncloaked_domain(None) == "tracker.com"
+
+    def test_unique_ids(self):
+        assert Script.inline().script_id != Script.inline().script_id
+
+
+class TestCallStack:
+    def test_executing_pushes_and_pops(self):
+        stack = CallStack()
+        script = Script.external("https://a.com/x.js")
+        assert stack.empty
+        with stack.executing(script):
+            assert stack.depth == 1
+            assert stack.current_script() is script
+        assert stack.empty
+
+    def test_nested_execution(self):
+        stack = CallStack()
+        outer = Script.external("https://a.com/x.js")
+        inner = Script.external("https://b.com/y.js")
+        with stack.executing(outer):
+            with stack.executing(inner):
+                assert stack.attribute() is inner
+            assert stack.attribute() is outer
+
+    def test_inline_frame_skipped_for_attribution(self):
+        stack = CallStack()
+        external = Script.external("https://a.com/x.js")
+        inline = Script.inline()
+        with stack.executing(external):
+            with stack.executing(inline):
+                # Last *external* script wins — the §6.2 rule.
+                assert stack.attribute() is external
+
+    def test_pure_inline_attributes_none(self):
+        stack = CallStack()
+        with stack.executing(Script.inline()):
+            assert stack.attribute() is None
+
+    def test_async_boundary_blocks_sync_walk(self):
+        stack = CallStack()
+        inline = Script.inline()
+        with stack.executing(Script.external("https://a.com/x.js")):
+            snapshot_outer = stack.snapshot()
+        # Timer callback: inline frame behind an async boundary.
+        with stack.executing(inline, async_boundary=True):
+            snap = stack.snapshot()
+            assert snap.attribute(async_traces=False) is None
+
+    def test_async_traces_see_owner(self):
+        stack = CallStack()
+        owner = Script.external("https://a.com/x.js")
+        with stack.executing(owner, async_boundary=True):
+            assert stack.snapshot().attribute(async_traces=True) is owner
+
+    def test_async_boundary_external_frame_still_visible(self):
+        # The callback's own external frame is above the boundary, so even
+        # the sync walk sees it (§8's loss only bites on inline callbacks).
+        stack = CallStack()
+        owner = Script.external("https://a.com/x.js")
+        with stack.executing(owner, async_boundary=True):
+            assert stack.snapshot().attribute(async_traces=False) is owner
+
+    def test_snapshot_is_immutable_copy(self):
+        stack = CallStack()
+        script = Script.external("https://a.com/x.js")
+        with stack.executing(script):
+            snap = stack.snapshot()
+        assert len(snap) == 1
+        assert snap.attribute() is script
+
+    def test_attributed_urls_order(self):
+        stack = CallStack()
+        a = Script.external("https://a.com/x.js")
+        b = Script.external("https://b.com/y.js")
+        with stack.executing(a):
+            with stack.executing(b):
+                urls = stack.snapshot().attributed_urls()
+        assert urls == ("https://a.com/x.js", "https://b.com/y.js")
+
+    def test_empty_snapshot(self):
+        snap = CallStack().snapshot()
+        assert snap.attribute() is None
+        assert snap.innermost() is None

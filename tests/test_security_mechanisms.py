@@ -1,0 +1,161 @@
+"""§2.1 / §3 — why existing browser mechanisms don't close the gap.
+
+The paper's motivation, executed: SOP isolates cross-origin *iframes*,
+HttpOnly shields server cookies, Secure gates transport — and none of it
+constrains a third-party script running in the main frame.  Plus the
+``cookieStore.onchange`` surface.
+"""
+
+import pytest
+
+from repro.browser.browser import Browser
+from repro.browser.cookiestore import CookieStore
+from repro.browser.events import Clock, EventLoop
+from repro.browser.frames import Frame, SopViolation
+from repro.browser.scripts import Script
+from repro.cookies.jar import CookieJar
+from repro.net.url import parse_url
+
+
+class TestSopBoundary:
+    """Figure 1: iframes are isolated; the main frame is not."""
+
+    def test_cross_origin_iframe_cannot_reach_main_frame(self):
+        main = Frame(parse_url("https://site.com/"))
+        ad_frame = Frame(parse_url("https://ads.tracker.com/slot"),
+                         parent=main)
+        with pytest.raises(SopViolation):
+            ad_frame.require_access(main)
+
+    def test_main_frame_script_unrestricted(self):
+        # The same tracker, embedded as a main-frame script instead of an
+        # iframe, reads everything — the paper's entire premise.
+        browser = Browser()
+        seen = {}
+        browser.visit("https://site.com/", scripts=[
+            Script.inline(behavior=lambda js: js.set_cookie("secret=s3cr3t")),
+            Script.external("https://ads.tracker.com/t.js",
+                            behavior=lambda js: seen.update(
+                                jar=js.get_cookie()))])
+        assert "secret=s3cr3t" in seen["jar"]
+
+
+class TestHttpOnlyShield:
+    def test_session_cookie_invisible_to_all_scripts(self):
+        from repro.net.headers import Headers
+        from repro.net.http import Response
+
+        def server(request):
+            headers = Headers()
+            headers.add("set-cookie", "sid=auth-token; HttpOnly; Path=/")
+            return Response(url=request.url, headers=headers)
+
+        browser = Browser()
+        browser.register_server("site.com", server)
+        seen = {}
+        browser.visit("https://site.com/", scripts=[
+            Script.external("https://tracker.com/t.js",
+                            behavior=lambda js: seen.update(
+                                jar=js.get_cookie()))])
+        assert "sid" not in seen["jar"]
+
+    def test_but_non_httponly_session_leaks(self):
+        # The §8 caveat: only HttpOnly-flagged session cookies are safe.
+        browser = Browser()
+        seen = {}
+        browser.visit("https://site.com/", scripts=[
+            Script.external("https://site.com/main.js",
+                            behavior=lambda js: js.set_cookie(
+                                "fp_session=longsessiontoken42")),
+            Script.external("https://tracker.com/t.js",
+                            behavior=lambda js: seen.update(
+                                jar=js.get_cookie()))])
+        assert "fp_session" in seen["jar"]
+
+
+class TestSecureAndScoping:
+    def test_secure_cookie_not_sent_over_http(self):
+        browser = Browser()
+        page_https = browser.visit("https://site.com/", scripts=[
+            Script.inline(behavior=lambda js: js.set_cookie("tok=x; Secure"))])
+        assert page_https.jar.find("tok")
+        page_http = browser.visit("http://site.com/")
+        sent = page_http.network.requests[0].headers.get("cookie") or ""
+        assert "tok" not in sent
+
+    def test_third_party_http_cookies_separate_jar_entries(self):
+        # Server-set third-party cookies never enter the first-party jar —
+        # which is why the paper scopes to script-accessible cookies.
+        from repro.net.headers import Headers
+        from repro.net.http import Response
+
+        def tracker_server(request):
+            headers = Headers()
+            headers.add("set-cookie", "tp_id=xyz")
+            return Response(url=request.url, headers=headers)
+
+        browser = Browser()
+        browser.register_server("tracker.com", tracker_server)
+        page = browser.visit("https://site.com/", scripts=[
+            Script.inline(behavior=lambda js: js.fetch(
+                "https://tracker.com/px"))])
+        tp = page.jar.get("tp_id", "tracker.com")
+        assert tp is not None
+        seen = {}
+        page2 = browser.visit("https://site.com/", scripts=[
+            Script.inline(behavior=lambda js: seen.update(
+                jar=js.get_cookie()))])
+        assert "tp_id" not in seen["jar"]
+
+
+class TestCookieStoreChangeEvents:
+    @pytest.fixture
+    def env(self):
+        jar = CookieJar()
+        clock = Clock()
+        loop = EventLoop(clock)
+        store = CookieStore(jar, parse_url("https://site.com/"), clock, loop)
+        return jar, loop, store
+
+    def test_set_fires_changed(self, env):
+        _jar, loop, store = env
+        events = []
+        store.add_change_listener(events.append)
+        store.set("k", "v")
+        loop.run_until_idle()
+        assert events and events[0]["changed"][0].name == "k"
+        assert events[0]["deleted"] == []
+
+    def test_delete_fires_deleted(self, env):
+        _jar, loop, store = env
+        events = []
+        store.set("k", "v")
+        store.add_change_listener(events.append)
+        store.delete("k")
+        loop.run_until_idle()
+        assert events[0]["deleted"][0].name == "k"
+
+    def test_document_cookie_writes_also_fire(self, env):
+        jar, loop, store = env
+        events = []
+        store.add_change_listener(events.append)
+        jar.set_from_header("a=1", parse_url("https://site.com/"),
+                            from_http=False)
+        loop.run_until_idle()
+        assert events[0]["changed"][0].name == "a"
+
+    def test_foreign_domain_changes_not_reported(self, env):
+        jar, loop, store = env
+        events = []
+        store.add_change_listener(events.append)
+        jar.set_from_header("other=1", parse_url("https://elsewhere.com/"))
+        loop.run_until_idle()
+        assert events == []
+
+    def test_httponly_changes_not_reported(self, env):
+        jar, loop, store = env
+        events = []
+        store.add_change_listener(events.append)
+        jar.set_from_header("sid=1; HttpOnly", parse_url("https://site.com/"))
+        loop.run_until_idle()
+        assert events == []

@@ -1,0 +1,84 @@
+"""Page-load timing model."""
+
+import numpy as np
+import pytest
+
+from repro.browser.timing import PageLoadModel, PageTimings, TimingConfig
+
+
+@pytest.fixture
+def model():
+    return PageLoadModel()
+
+
+class TestPageLoadModel:
+    def test_deterministic_given_seed(self, model):
+        a = model.sample_pair(np.random.default_rng(7), cookie_ops=50)
+        b = model.sample_pair(np.random.default_rng(7), cookie_ops=50)
+        assert a == b
+
+    def test_stage_ordering(self, model):
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            timings = model.sample(rng, latent=1.0)
+            assert timings.dom_interactive <= timings.dom_content_loaded
+            assert timings.dom_content_loaded < timings.load_event
+
+    def test_all_positive(self, model):
+        rng = np.random.default_rng(2)
+        for _ in range(200):
+            timings = model.sample(rng, latent=model.site_latent(rng))
+            assert timings.dom_interactive > 0
+
+    def test_overhead_increases_with_cookie_ops(self, model):
+        rng = np.random.default_rng(3)
+        small = np.mean([model.extension_overhead_ms(rng, 10)
+                         for _ in range(500)])
+        big = np.mean([model.extension_overhead_ms(rng, 500)
+                       for _ in range(500)])
+        assert big > small * 3
+
+    def test_guarded_slower_on_average(self, model):
+        rng = np.random.default_rng(4)
+        deltas = []
+        for _ in range(400):
+            normal, guarded = model.sample_pair(rng, cookie_ops=100)
+            deltas.append(guarded.load_event - normal.load_event)
+        assert np.mean(deltas) > 0
+
+    def test_median_interactive_near_calibration(self, model):
+        rng = np.random.default_rng(5)
+        samples = [model.sample(rng, latent=model.site_latent(rng)).dom_interactive
+                   for _ in range(4000)]
+        median = np.median(samples)
+        assert 500 < median < 1400  # calibrated around 842 ms
+
+    def test_heavy_tail(self, model):
+        rng = np.random.default_rng(6)
+        samples = np.array([
+            model.sample(rng, latent=model.site_latent(rng)).load_event
+            for _ in range(4000)])
+        assert samples.mean() > np.median(samples) * 1.3
+
+    def test_script_cost_raises_load(self):
+        model = PageLoadModel()
+        rng_a = np.random.default_rng(8)
+        rng_b = np.random.default_rng(8)
+        bare = model.sample(rng_a, latent=1.0, n_third_party_scripts=0)
+        busy = model.sample(rng_b, latent=1.0, n_third_party_scripts=40)
+        assert busy.load_event > bare.load_event
+
+    def test_custom_config(self):
+        config = TimingConfig(interactive_median_ms=100.0, site_sigma=0.01,
+                              visit_sigma=0.01, stall_probability=0.0)
+        model = PageLoadModel(config)
+        rng = np.random.default_rng(9)
+        samples = [model.sample(rng, latent=1.0).dom_interactive
+                   for _ in range(200)]
+        assert 80 < np.median(samples) < 125
+
+    def test_as_dict(self):
+        timings = PageTimings(1.0, 2.0, 3.0)
+        assert timings.as_dict() == {"dom_content_loaded": 1.0,
+                                     "dom_interactive": 2.0,
+                                     "load_event": 3.0}
