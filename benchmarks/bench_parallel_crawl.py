@@ -1,0 +1,73 @@
+"""Serial vs parallel crawl throughput (the sharded crawl engine).
+
+Not a paper figure; it records what the divide-and-conquer crawl engine
+buys on this hardware.  Per-site seeding makes the parallel output
+bit-identical to the serial crawl, so the only variable is wall-clock.
+Speedup tracks the machine's core count: on a single-core runner the
+parallel figures show pure process overhead, on an M-core box jobs=M
+approaches M×.
+"""
+
+import json
+import os
+import time
+
+from repro.crawler import CrawlConfig, Crawler, ParallelCrawler
+
+from conftest import banner
+
+SAMPLE = int(os.environ.get("REPRO_BENCH_SAMPLE", "50"))
+
+
+def _sample(population):
+    return population.successful_sites()[:SAMPLE]
+
+
+def test_serial_crawl(benchmark, population):
+    sites = _sample(population)
+    crawler = Crawler(population, CrawlConfig(seed=2025))
+    logs = benchmark(crawler.crawl, sites)
+    assert logs
+
+
+def test_parallel_crawl_two_jobs(benchmark, population):
+    sites = _sample(population)
+    crawler = ParallelCrawler(population, CrawlConfig(seed=2025), jobs=2)
+    logs = benchmark(crawler.crawl, sites)
+    assert logs
+
+
+def test_parallel_crawl_four_jobs(benchmark, population):
+    sites = _sample(population)
+    crawler = ParallelCrawler(population, CrawlConfig(seed=2025), jobs=4)
+    logs = benchmark(crawler.crawl, sites)
+    assert logs
+
+
+def test_serial_vs_parallel_summary(population):
+    """One-shot wall-clock comparison with a determinism cross-check."""
+    sites = _sample(population)
+    timings = {}
+    t0 = time.perf_counter()
+    serial_logs = Crawler(population, CrawlConfig(seed=2025)).crawl(sites)
+    timings["serial"] = time.perf_counter() - t0
+    reference = [json.dumps(log.to_dict(), sort_keys=True)
+                 for log in serial_logs]
+    for jobs in (2, 4):
+        crawler = ParallelCrawler(population, CrawlConfig(seed=2025),
+                                  jobs=jobs)
+        t0 = time.perf_counter()
+        logs = crawler.crawl(sites)
+        timings[f"jobs={jobs}"] = time.perf_counter() - t0
+        assert [json.dumps(log.to_dict(), sort_keys=True)
+                for log in logs] == reference
+
+    banner("Parallel crawl", "sharded crawl engine, not a paper figure")
+    cores = os.cpu_count() or 1
+    print(f"sample: {len(sites)} sites; machine cores: {cores}")
+    for label, seconds in timings.items():
+        rate = len(sites) / seconds
+        speedup = timings["serial"] / seconds
+        print(f"  {label:<8} {seconds:7.2f}s  {rate:7.1f} sites/s  "
+              f"{speedup:5.2f}x vs serial")
+    assert timings["serial"] > 0

@@ -1,21 +1,68 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command> [options]``.
 
 Commands
 --------
-study [N]        run the §5 measurement study (default 2000 sites)
-evaluate [N]     run the §7 CookieGuard evaluation (default 1000 sites)
-crawl [N] [OUT]  crawl and save raw visit logs as JSONL
-full [N] [OUT]   the complete paper reproduction in one shot
+study [N] [--jobs J]
+    run the §5 measurement study (default 2000 sites)
+evaluate [N]
+    run the §7 CookieGuard evaluation (default 1000 sites)
+crawl [N] [OUT] [--jobs J] [--shards S] [--gzip]
+    crawl and save raw visit logs.  OUT is a single ``.jsonl[.gz]``
+    file by default; with ``--shards`` it is a directory holding
+    ``shard-NNNN.jsonl[.gz]`` files plus a ``manifest.json``
+full [N] [OUT] [--jobs J] [--shards S]
+    the complete paper reproduction in one shot
+
+Options
+-------
+--jobs J    fan the crawl out over J worker processes (default 1 =
+            serial).  Per-site seeding makes the result bit-identical
+            to a serial crawl for any J.
+--shards S  split the saved dataset into S shard files + manifest
+            (default: a single file; OUT is treated as a directory
+            when --shards is given).
+--gzip      gzip shard files (single-file output is gzipped when OUT
+            ends in ``.gz``).
 """
 
 from __future__ import annotations
 
 import sys
+from typing import List
+
+from .cliutil import pop_int_flag, pop_switch, reject_unknown_flags
 
 
 def _usage() -> None:
     print(__doc__)
     raise SystemExit(2)
+
+
+def _run_crawl(args: List[str]) -> None:
+    jobs = pop_int_flag(args, "--jobs", 1, minimum=1)
+    shards = pop_int_flag(args, "--shards", 0, minimum=1) or None
+    compress = pop_switch(args, "--gzip")
+    reject_unknown_flags(args)
+    n_sites = int(args[0]) if args else 2000
+    default_out = "crawl" if shards else "crawl.jsonl.gz"
+    out = args[1] if len(args) > 1 else default_out
+    if compress and not shards and not str(out).endswith(".gz"):
+        out = f"{out}.gz"
+
+    from .crawler import CrawlConfig, ParallelCrawler, save_logs
+    from .ecosystem import PopulationConfig, generate_population
+    population = generate_population(PopulationConfig(n_sites=n_sites,
+                                                      seed=2025))
+    crawler = ParallelCrawler(population, CrawlConfig(seed=2025), jobs=jobs)
+    if shards:
+        manifest = crawler.crawl_to_dir(out, n_shards=shards,
+                                        compress=compress)
+        print(f"saved {manifest.total} visit logs to {out}/ "
+              f"({manifest.n_shards} shards, jobs={jobs})")
+    else:
+        logs = crawler.crawl()
+        written = save_logs(logs, out)
+        print(f"saved {written} visit logs to {out} (jobs={jobs})")
 
 
 def main(argv=None) -> None:
@@ -29,15 +76,7 @@ def main(argv=None) -> None:
     elif command == "evaluate":
         _run_example("cookieguard_evaluation", args)
     elif command == "crawl":
-        n_sites = int(args[0]) if args else 2000
-        out = args[1] if len(args) > 1 else "crawl.jsonl.gz"
-        from .crawler import CrawlConfig, Crawler, save_logs
-        from .ecosystem import PopulationConfig, generate_population
-        population = generate_population(PopulationConfig(n_sites=n_sites,
-                                                          seed=2025))
-        logs = Crawler(population, CrawlConfig(seed=2025)).crawl()
-        written = save_logs(logs, out)
-        print(f"saved {written} visit logs to {out}")
+        _run_crawl(args)
     elif command == "full":
         from pathlib import Path
         script = Path(__file__).resolve().parents[2] / "scripts" / "full_scale_run.py"

@@ -21,6 +21,7 @@ from .reports import (
     CONSENT_SIGNAL_COOKIES,
     RankedDomain,
     Study,
+    StudyAccumulator,
     Table1Row,
     Table2Row,
     Table5Row,
@@ -53,6 +54,7 @@ __all__ = [
     "CONSENT_SIGNAL_COOKIES",
     "RankedDomain",
     "Study",
+    "StudyAccumulator",
     "Table1Row",
     "Table2Row",
     "Table5Row",

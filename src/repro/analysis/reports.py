@@ -4,13 +4,21 @@
 ``table_*``/``figure_*``/``sec*`` method derives one of the paper's
 results.  Rendering helpers return plain-text tables so benchmarks and
 examples can print the same rows the paper reports.
+
+Aggregation is incremental: a :class:`StudyAccumulator` ingests one
+:class:`~repro.records.VisitLog` at a time and accumulators merge
+associatively, so a sharded crawl can be analysed shard-by-shard
+(``Study.from_shards``) — or streamed from disk — and produce results
+identical to a monolithic ``Study`` over the concatenated logs.  All
+counters are integers and every ranking breaks ties lexicographically,
+which makes the derived tables independent of ingestion order.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..records import API_COOKIE_STORE, API_DOCUMENT_COOKIE, VisitLog
 from .attribution import (
@@ -25,8 +33,8 @@ from .exfiltration import ExfilEvent, detect_exfiltration
 from .filterlists import FilterList
 from .lists_data import combined_list
 
-__all__ = ["Study", "Table1Row", "Table2Row", "RankedDomain", "Table5Row",
-           "CONSENT_SIGNAL_COOKIES"]
+__all__ = ["Study", "StudyAccumulator", "Table1Row", "Table2Row",
+           "RankedDomain", "Table5Row", "CONSENT_SIGNAL_COOKIES"]
 
 #: Cookie names that are consent signals *intended* to be read by third
 #: parties (§5.4 flags ``us_privacy`` as such, not a tracking identifier).
@@ -82,16 +90,30 @@ class Table5Row:
 
 
 # ---------------------------------------------------------------------------
-# The study aggregator
+# Incremental aggregation
 # ---------------------------------------------------------------------------
 
-class Study:
-    """One-pass aggregation of a crawl, with per-result accessors."""
+def _top(counter: Counter, k: int) -> List[Tuple[str, int]]:
+    """``counter.most_common(k)`` with deterministic tie-breaking.
 
-    def __init__(self, logs: Sequence[VisitLog],
-                 entity_map: Optional[EntityMap] = None,
+    ``Counter.most_common`` breaks ties by insertion order, which differs
+    between a monolithic pass and a shard merge; sorting ties by key keeps
+    every ranking identical under any ingestion order.
+    """
+    return sorted(counter.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+
+class StudyAccumulator:
+    """Order-independent aggregation state behind :class:`Study`.
+
+    ``add`` ingests one visit log; ``update`` merges another accumulator
+    in.  Both operations are associative and commutative with respect to
+    every result :class:`Study` derives, so shards can be aggregated in
+    any order (or in parallel) and merged at the end.
+    """
+
+    def __init__(self, entity_map: Optional[EntityMap] = None,
                  filter_list: Optional[FilterList] = None):
-        self.logs = list(logs)
         self.entities = entity_map or default_entity_map()
         self.filters = filter_list or combined_list()
         self.ownerships: Dict[str, SiteOwnership] = {}
@@ -100,91 +122,261 @@ class Study:
         #: Global unique cookie pairs by creation API (script-set only).
         self.pairs_by_api: Dict[str, Set[CookiePair]] = {
             API_DOCUMENT_COOKIE: set(), API_COOKIE_STORE: set()}
-        self._aggregate()
+        # Integer counters feeding the §5 prevalence/usage sections.
+        self.n_logs = 0
+        self.sites_with_tp = 0
+        self.tp_script_total = 0          # Σ n_third_party_scripts
+        self.tp_scripts_seen = 0          # distinct third-party scripts
+        self.tracking_hits = 0            # ... of which filter lists block
+        self.tp_set_writes = 0
+        self.fp_set_writes = 0
+        self.doc_api_sites = 0
+        self.store_api_sites = 0
+        self.store_name_counts: Counter = Counter()
+        self.direct_total = 0
+        self.indirect_total = 0
+        self.indirect_seen = 0            # indirect third-party scripts
+        self.indirect_tracking = 0
+        self.dom_mod_sites = 0
 
     # ------------------------------------------------------------------
-    def _aggregate(self) -> None:
-        for log in self.logs:
-            ownership = build_ownership(log)
-            self.ownerships[log.site] = ownership
-            for name, api in ownership.apis.items():
-                if api in self.pairs_by_api:
-                    pair = ownership.pair_of(name)
-                    if pair is not None:
-                        self.pairs_by_api[api].add(pair)
-            self.exfil_events.extend(detect_exfiltration(log, ownership))
-            self.manipulations.extend(detect_manipulations(log, ownership))
+    def add(self, log: VisitLog) -> "StudyAccumulator":
+        """Ingest one visit log; returns ``self`` for chaining."""
+        ownership = build_ownership(log)
+        self.ownerships[log.site] = ownership
+        for name, api in ownership.apis.items():
+            if api in self.pairs_by_api:
+                pair = ownership.pair_of(name)
+                if pair is not None:
+                    self.pairs_by_api[api].add(pair)
+        self.exfil_events.extend(detect_exfiltration(log, ownership))
+        self.manipulations.extend(detect_manipulations(log, ownership))
+
+        self.n_logs += 1
+        if log.n_third_party_scripts > 0:
+            self.sites_with_tp += 1
+        self.tp_script_total += log.n_third_party_scripts
+        self.direct_total += log.n_direct_third_party
+        self.indirect_total += log.n_indirect_third_party
+        for script in log.scripts:
+            if script.domain is None or script.domain == log.site:
+                continue
+            blocked = bool(script.url) and self.filters.should_block(
+                script.url, resource_type="script",
+                page_domain=log.site, is_third_party=True)
+            self.tp_scripts_seen += 1
+            if blocked:
+                self.tracking_hits += 1
+            if script.inclusion == "indirect":
+                self.indirect_seen += 1
+                if blocked:
+                    self.indirect_tracking += 1
+        apis = {w.api for w in log.cookie_writes} \
+            | {r.api for r in log.cookie_reads}
+        if API_DOCUMENT_COOKIE in apis:
+            self.doc_api_sites += 1
+        if API_COOKIE_STORE in apis:
+            self.store_api_sites += 1
+        for write in log.cookie_writes:
+            if write.kind in ("set", "overwrite"):
+                if write.api == API_COOKIE_STORE:
+                    self.store_name_counts[write.cookie_name] += 1
+                if write.script_domain is not None \
+                        and write.script_domain != log.site:
+                    self.tp_set_writes += 1
+                else:
+                    self.fp_set_writes += 1
+        if any(m.cross_script for m in log.dom_mutations):
+            self.dom_mod_sites += 1
+        return self
+
+    def add_all(self, logs: Iterable[VisitLog]) -> "StudyAccumulator":
+        for log in logs:
+            self.add(log)
+        return self
+
+    # ------------------------------------------------------------------
+    def update(self, other: "StudyAccumulator") -> "StudyAccumulator":
+        """Merge ``other`` into ``self`` (shards must not share sites)."""
+        overlap = self.ownerships.keys() & other.ownerships.keys()
+        if overlap:
+            raise ValueError(
+                f"overlapping shards: {sorted(overlap)[:3]} appear in both")
+        self.ownerships.update(other.ownerships)
+        self.exfil_events.extend(other.exfil_events)
+        self.manipulations.extend(other.manipulations)
+        for api, pairs in other.pairs_by_api.items():
+            self.pairs_by_api[api] |= pairs
+        self.store_name_counts += other.store_name_counts
+        for name in ("n_logs", "sites_with_tp", "tp_script_total",
+                     "tp_scripts_seen", "tracking_hits", "tp_set_writes",
+                     "fp_set_writes", "doc_api_sites", "store_api_sites",
+                     "direct_total", "indirect_total", "indirect_seen",
+                     "indirect_tracking", "dom_mod_sites"):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    @classmethod
+    def merged(cls, accumulators: Iterable["StudyAccumulator"],
+               entity_map: Optional[EntityMap] = None,
+               filter_list: Optional[FilterList] = None) -> "StudyAccumulator":
+        """Merge accumulators into a new one.
+
+        When ``entity_map``/``filter_list`` are not given, the first
+        accumulator's maps are adopted — shard accumulators built with a
+        custom map would otherwise silently lose it in the merge (entity
+        attribution happens at query time, in ``Study.table2``/``table5``).
+        """
+        accumulators = list(accumulators)
+        if accumulators:
+            entity_map = entity_map or accumulators[0].entities
+            filter_list = filter_list or accumulators[0].filters
+        out = cls(entity_map, filter_list)
+        for acc in accumulators:
+            out.update(acc)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# The study aggregator
+# ---------------------------------------------------------------------------
+
+class Study:
+    """One-pass aggregation of a crawl, with per-result accessors."""
+
+    def __init__(self, logs: Sequence[VisitLog] = (),
+                 entity_map: Optional[EntityMap] = None,
+                 filter_list: Optional[FilterList] = None,
+                 accumulator: Optional[StudyAccumulator] = None):
+        if accumulator is not None:
+            self._acc = accumulator
+        else:
+            self._acc = StudyAccumulator(entity_map, filter_list)
+        self.logs = list(logs)
+        if accumulator is None:
+            self._acc.add_all(self.logs)
+
+    # Accumulator state doubles as the Study's public aggregate view.
+    @property
+    def accumulator(self) -> StudyAccumulator:
+        return self._acc
+
+    @property
+    def entities(self) -> EntityMap:
+        return self._acc.entities
+
+    @property
+    def filters(self) -> FilterList:
+        return self._acc.filters
+
+    @property
+    def ownerships(self) -> Dict[str, SiteOwnership]:
+        return self._acc.ownerships
+
+    @property
+    def exfil_events(self) -> List[ExfilEvent]:
+        return self._acc.exfil_events
+
+    @property
+    def manipulations(self) -> List[CrossDomainAction]:
+        return self._acc.manipulations
+
+    @property
+    def pairs_by_api(self) -> Dict[str, Set[CookiePair]]:
+        return self._acc.pairs_by_api
 
     @property
     def n_sites(self) -> int:
-        return len(self.logs)
+        return self._acc.n_logs
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_accumulator(cls, accumulator: StudyAccumulator,
+                         logs: Sequence[VisitLog] = ()) -> "Study":
+        """Wrap already-aggregated state (``logs`` optional, for reuse)."""
+        return cls(logs, accumulator=accumulator)
+
+    @classmethod
+    def from_shards(cls,
+                    shards: Iterable[Union[Sequence[VisitLog],
+                                           StudyAccumulator]],
+                    entity_map: Optional[EntityMap] = None,
+                    filter_list: Optional[FilterList] = None,
+                    keep_logs: bool = True) -> "Study":
+        """Build a study from per-shard log lists or accumulators.
+
+        The result is identical to ``Study(concatenated_logs)`` for every
+        table/figure/section accessor, for *any* partition of the logs
+        into shards and any shard order.  Pass ``keep_logs=False`` (or
+        pre-built accumulators) to avoid retaining raw logs in memory.
+
+        Like :meth:`StudyAccumulator.merged`, omitted ``entity_map``/
+        ``filter_list`` are adopted from the first accumulator shard, so
+        shards built with custom maps keep them through the merge.
+        """
+        shards = list(shards)
+        if entity_map is None or filter_list is None:
+            for shard in shards:
+                if isinstance(shard, StudyAccumulator):
+                    entity_map = entity_map or shard.entities
+                    filter_list = filter_list or shard.filters
+                    break
+        acc = StudyAccumulator(entity_map, filter_list)
+        kept: List[VisitLog] = []
+        for shard in shards:
+            if isinstance(shard, StudyAccumulator):
+                acc.update(shard)
+            else:
+                shard_logs = list(shard)
+                part = StudyAccumulator(entity_map, filter_list)
+                part.add_all(shard_logs)
+                acc.update(part)
+                if keep_logs:
+                    kept.extend(shard_logs)
+        kept.sort(key=lambda log: (log.rank, log.site))
+        return cls.from_accumulator(acc, kept)
+
+    def merge(self, other: "Study") -> "Study":
+        """A new study equal to one built over both studies' inputs."""
+        acc = StudyAccumulator(self._acc.entities, self._acc.filters)
+        acc.update(self._acc)
+        acc.update(other._acc)
+        logs = sorted(self.logs + other.logs,
+                      key=lambda log: (log.rank, log.site))
+        return Study.from_accumulator(acc, logs)
 
     # ------------------------------------------------------------------
     # §5.1 — prevalence of third-party scripts
     # ------------------------------------------------------------------
     def sec51_prevalence(self) -> Dict[str, float]:
-        n = max(self.n_sites, 1)
-        sites_with_tp = sum(1 for log in self.logs
-                            if log.n_third_party_scripts > 0)
-        tp_counts = [log.n_third_party_scripts for log in self.logs]
-        tracking_hits = 0
-        tp_total = 0
-        tp_set_writes = 0
-        fp_set_writes = 0
-        for log in self.logs:
-            for script in log.scripts:
-                if script.domain is None or script.domain == log.site:
-                    continue
-                tp_total += 1
-                if script.url and self.filters.should_block(
-                        script.url, resource_type="script",
-                        page_domain=log.site, is_third_party=True):
-                    tracking_hits += 1
-            for write in log.cookie_writes:
-                if write.kind not in ("set", "overwrite"):
-                    continue
-                if write.script_domain is not None \
-                        and write.script_domain != log.site:
-                    tp_set_writes += 1
-                else:
-                    fp_set_writes += 1
+        acc = self._acc
+        n = max(acc.n_logs, 1)
         return {
-            "pct_sites_with_third_party": 100.0 * sites_with_tp / n,
-            "avg_third_party_scripts": sum(tp_counts) / n,
-            "pct_tracking_scripts": 100.0 * tracking_hits / max(tp_total, 1),
-            "avg_cookies_set_by_third_party": tp_set_writes / n,
-            "avg_cookies_set_by_first_party": fp_set_writes / n,
+            "pct_sites_with_third_party": 100.0 * acc.sites_with_tp / n,
+            "avg_third_party_scripts": acc.tp_script_total / n,
+            "pct_tracking_scripts": (100.0 * acc.tracking_hits
+                                     / max(acc.tp_scripts_seen, 1)),
+            "avg_cookies_set_by_third_party": acc.tp_set_writes / n,
+            "avg_cookies_set_by_first_party": acc.fp_set_writes / n,
         }
 
     # ------------------------------------------------------------------
     # §5.2 — cookie API usage
     # ------------------------------------------------------------------
     def sec52_api_usage(self) -> Dict[str, object]:
-        n = max(self.n_sites, 1)
-        doc_sites = 0
-        store_sites = 0
-        store_names: Counter = Counter()
-        for log in self.logs:
-            apis = {w.api for w in log.cookie_writes} \
-                | {r.api for r in log.cookie_reads}
-            if API_DOCUMENT_COOKIE in apis:
-                doc_sites += 1
-            if API_COOKIE_STORE in apis:
-                store_sites += 1
-            for write in log.cookie_writes:
-                if write.api == API_COOKIE_STORE \
-                        and write.kind in ("set", "overwrite"):
-                    store_names[write.cookie_name] += 1
+        acc = self._acc
+        n = max(acc.n_logs, 1)
+        store_names = acc.store_name_counts
         doc_pairs = self.pairs_by_api[API_DOCUMENT_COOKIE]
         store_pairs = self.pairs_by_api[API_COOKIE_STORE]
-        top_two = sum(count for _name, count in store_names.most_common(2))
+        top_two = sum(count for _name, count in _top(store_names, 2))
         return {
-            "pct_sites_document_cookie": 100.0 * doc_sites / n,
-            "pct_sites_cookie_store": 100.0 * store_sites / n,
+            "pct_sites_document_cookie": 100.0 * acc.doc_api_sites / n,
+            "pct_sites_cookie_store": 100.0 * acc.store_api_sites / n,
             "unique_pairs_document_cookie": len(doc_pairs),
             "unique_pairs_cookie_store": len(store_pairs),
             "unique_cookie_store_names": len(store_names),
-            "top_cookie_store_names": store_names.most_common(5),
+            "top_cookie_store_names": _top(store_names, 5),
             "pct_top_two_cookie_store": (100.0 * top_two
                                          / max(sum(store_names.values()), 1)),
         }
@@ -251,7 +443,7 @@ class Study:
         ranked = sorted(per_pair_destinations.keys(),
                         key=lambda pair: (-len(per_pair_destinations[pair]),
                                           -len(per_pair_exfiltrators[pair]),
-                                          pair.name))
+                                          pair.name, pair.creator))
         rows: List[Table2Row] = []
         for pair in ranked[:top]:
             rows.append(Table2Row(
@@ -261,10 +453,10 @@ class Study:
                 n_destination_entities=len(per_pair_destinations[pair]),
                 top_exfiltrators=tuple(
                     entity for entity, _ in
-                    exfiltrator_freq[pair].most_common(3)),
+                    _top(exfiltrator_freq[pair], 3)),
                 top_destinations=tuple(
                     entity for entity, _ in
-                    destination_freq[pair].most_common(3)),
+                    _top(destination_freq[pair], 3)),
                 consent_signal=pair.name in CONSENT_SIGNAL_COOKIES,
             ))
         return rows
@@ -278,7 +470,8 @@ class Study:
             per_domain[event.actor].add(event.pair)
         total = max(len(self.pairs_by_api[API_DOCUMENT_COOKIE])
                     + len(self.pairs_by_api[API_COOKIE_STORE]), 1)
-        ranked = sorted(per_domain.items(), key=lambda kv: -len(kv[1]))[:top]
+        ranked = sorted(per_domain.items(),
+                        key=lambda kv: (-len(kv[1]), kv[0]))[:top]
         return [RankedDomain(domain, len(pairs), 100.0 * len(pairs) / total)
                 for domain, pairs in ranked]
 
@@ -314,7 +507,8 @@ class Study:
                 per_pair[manipulation.pair].add(actor_entity)
                 freq[manipulation.pair][actor_entity] += 1
             ranked = sorted(per_pair.keys(),
-                            key=lambda pair: (-len(per_pair[pair]), pair.name))
+                            key=lambda pair: (-len(per_pair[pair]),
+                                              pair.name, pair.creator))
             for pair in ranked[:top]:
                 rows.append(Table5Row(
                     manipulation=label,
@@ -322,7 +516,7 @@ class Study:
                     creator_domain=pair.creator,
                     n_manipulator_entities=len(per_pair[pair]),
                     top_manipulators=tuple(
-                        entity for entity, _ in freq[pair].most_common(3)),
+                        entity for entity, _ in _top(freq[pair], 3)),
                 ))
         return rows
 
@@ -340,7 +534,7 @@ class Study:
                 if manipulation.kind == action:
                     per_domain[manipulation.actor].add(manipulation.pair)
             ranked = sorted(per_domain.items(),
-                            key=lambda kv: -len(kv[1]))[:top]
+                            key=lambda kv: (-len(kv[1]), kv[0]))[:top]
             out[label] = [RankedDomain(domain, len(pairs),
                                        100.0 * len(pairs) / total)
                           for domain, pairs in ranked]
@@ -350,29 +544,15 @@ class Study:
     # §5.6 — inclusion paths
     # ------------------------------------------------------------------
     def sec56_inclusion(self) -> Dict[str, float]:
-        direct = sum(log.n_direct_third_party for log in self.logs)
-        indirect = sum(log.n_indirect_third_party for log in self.logs)
-        indirect_tracking = 0
-        indirect_total = 0
-        for log in self.logs:
-            for script in log.scripts:
-                if script.inclusion != "indirect" or script.domain is None:
-                    continue
-                if script.domain == log.site:
-                    continue
-                indirect_total += 1
-                if script.url and self.filters.should_block(
-                        script.url, resource_type="script",
-                        page_domain=log.site, is_third_party=True):
-                    indirect_tracking += 1
-        n = max(self.n_sites, 1)
-        sites_with_tp = sum(1 for log in self.logs
-                            if log.n_third_party_scripts > 0)
+        acc = self._acc
+        direct = acc.direct_total
+        indirect = acc.indirect_total
+        n = max(acc.n_logs, 1)
         return {
-            "pct_sites_with_third_party": 100.0 * sites_with_tp / n,
+            "pct_sites_with_third_party": 100.0 * acc.sites_with_tp / n,
             "indirect_to_direct_ratio": indirect / max(direct, 1),
-            "pct_indirect_tracking": (100.0 * indirect_tracking
-                                      / max(indirect_total, 1)),
+            "pct_indirect_tracking": (100.0 * acc.indirect_tracking
+                                      / max(acc.indirect_seen, 1)),
             "pct_direct_of_third_party": (100.0 * direct
                                           / max(direct + indirect, 1)),
         }
@@ -381,11 +561,11 @@ class Study:
     # §8 — DOM-modification pilot
     # ------------------------------------------------------------------
     def sec8_dom_pilot(self) -> Dict[str, float]:
-        n = max(self.n_sites, 1)
-        sites_hit = sum(1 for log in self.logs
-                        if any(m.cross_script for m in log.dom_mutations))
+        acc = self._acc
+        n = max(acc.n_logs, 1)
         return {
-            "pct_sites_cross_domain_dom_modification": 100.0 * sites_hit / n,
+            "pct_sites_cross_domain_dom_modification":
+                100.0 * acc.dom_mod_sites / n,
         }
 
 

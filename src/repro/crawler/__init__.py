@@ -12,13 +12,22 @@ from .logs import (
     RequestEvent,
     VisitLog,
 )
-from .storage import CrawlDataset, load_logs, save_logs
+from .parallel import ParallelCrawler, Shard, ShardPlan, derive_shard_config
+from .storage import (CrawlDataset, ManifestError, ShardManifest, iter_logs,
+                      load_logs, save_logs)
 
 __all__ = [
     "CrawlConfig",
     "Crawler",
     "crawl_population",
     "render_site_html",
+    "ParallelCrawler",
+    "Shard",
+    "ShardPlan",
+    "derive_shard_config",
+    "ManifestError",
+    "ShardManifest",
+    "iter_logs",
     "API_COOKIE_STORE",
     "API_DOCUMENT_COOKIE",
     "CookieReadEvent",

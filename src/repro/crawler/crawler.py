@@ -13,6 +13,7 @@ The same harness drives the CookieGuard evaluation crawls: pass
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -37,7 +38,13 @@ __all__ = ["CrawlConfig", "Crawler", "crawl_population"]
 
 @dataclass(frozen=True)
 class CrawlConfig:
-    """Crawl-level switches."""
+    """Crawl-level switches.
+
+    ``shard_index``/``shard_count`` are informational labels attached by
+    the parallel engine (:mod:`repro.crawler.parallel`); the ``seed`` is
+    deliberately *not* derived per shard — every visit is seeded with
+    ``[seed, site.rank]``, so shard membership can never change a visit.
+    """
 
     seed: int = 2025
     interact: bool = True
@@ -45,6 +52,8 @@ class CrawlConfig:
     install_guard: bool = False
     guard_policy: Optional[PolicyConfig] = None
     guard_uncloak_dns: bool = False
+    shard_index: int = 0
+    shard_count: int = 1
 
 
 class Crawler:
@@ -65,9 +74,13 @@ class Crawler:
         Returns the retained visit logs — those with both cookie and
         network data, matching the paper's 14,917/20,000 criterion —
         unless ``keep_incomplete`` is set.
+
+        ``self.guards`` holds the guard instances of *this* crawl only;
+        repeated ``crawl()`` calls start from an empty list.
         """
         if sites is None:
             sites = self.population.sites
+        self.guards = []
         logs: List[VisitLog] = []
         for site in sites:
             log = self.visit_site(site)
@@ -276,6 +289,17 @@ def _ping_behavior(js) -> None:
                   params={"n": len(jar), "site": js.site_domain})
 
 
+def _stable_token(text: str, mod: int) -> int:
+    """A process-independent stand-in for ``hash(text) % mod``.
+
+    Server cookie values must be identical across worker processes (and
+    across runs with different ``PYTHONHASHSEED``), so the built-in
+    ``hash`` — which is salted per interpreter — cannot be used.
+    """
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % mod
+
+
 def _site_server(site: SiteSpec):
     """The site's own web server."""
 
@@ -285,11 +309,11 @@ def _site_server(site: SiteSpec):
             if site.http_session_cookie:
                 flags = "; HttpOnly" if site.http_session_httponly else ""
                 headers.add("set-cookie",
-                            f"php_sessid=srv{site.rank}x{abs(hash(site.domain)) % 10**12}; "
+                            f"php_sessid=srv{site.rank}x{_stable_token(site.domain, 10**12)}; "
                             f"Path=/{flags}")
             if site.http_marketing_cookie:
                 headers.add("set-cookie",
-                            f"mkt_attrib=utm{site.rank}campaign{abs(hash(site.domain[::-1])) % 10**10}; "
+                            f"mkt_attrib=utm{site.rank}campaign{_stable_token(site.domain[::-1], 10**10)}; "
                             f"Path=/; Max-Age=2592000")
         return Response(url=request.url, status=200, headers=headers)
 
@@ -303,7 +327,7 @@ def _service_server(service: ServiceSpec):
         headers = Headers()
         if service.sets_http_cookie:
             headers.add("set-cookie",
-                        f"{service.key}_srv=sv{abs(hash(service.domain)) % 10**12}; "
+                        f"{service.key}_srv=sv{_stable_token(service.domain, 10**12)}; "
                         f"Path=/; Max-Age=31536000")
         return Response(url=request.url, status=200, headers=headers)
 

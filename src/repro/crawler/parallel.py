@@ -1,0 +1,261 @@
+"""Parallel sharded crawl engine (divide-and-conquer over site ranks).
+
+The crawl is embarrassingly parallel by construction: every visit is
+seeded with ``[seed, site.rank]`` (see :class:`~repro.crawler.crawler.
+Crawler.visit_site`), so no visit can observe another visit's state.
+This module exploits that:
+
+* :class:`ShardPlan` deterministically partitions a population's site
+  ranks into shards (contiguous rank ranges or a round-robin stride).
+* :class:`ParallelCrawler` fans the shards out over a pool of worker
+  processes — or an in-process serial executor — and merges the
+  resulting logs back into rank order.  Output is bit-for-bit identical
+  to a serial :class:`~repro.crawler.crawler.Crawler` run with the same
+  seed, for any worker count (``tests/test_parallel_crawl.py`` locks
+  this in).
+* :meth:`ParallelCrawler.crawl_to_dir` streams each shard's logs to its
+  own file (see :mod:`repro.crawler.storage`), so a full-scale crawl is
+  bounded by shard size, not crawl size, in memory.
+
+Workers receive the population once (pool initializer) and re-derive a
+per-shard :class:`CrawlConfig` via :func:`derive_shard_config`; the seed
+is never varied per shard, only the shard labels are attached.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..ecosystem.population import Population
+from ..ecosystem.site import SiteSpec
+from .crawler import CrawlConfig, Crawler
+from .logs import VisitLog
+from .storage import ShardManifest, save_shard, shard_filename
+
+__all__ = ["Shard", "ShardPlan", "ParallelCrawler", "derive_shard_config"]
+
+
+# ---------------------------------------------------------------------------
+# Shard planning
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of parallel work: a set of site ranks."""
+
+    index: int
+    of: int
+    ranks: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.ranks)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of site ranks into shards.
+
+    ``contiguous`` splits the rank-ordered site list into near-even
+    runs (shard files then hold adjacent ranks, which keeps the on-disk
+    layout browsable); ``stride`` deals sites round-robin, which
+    balances load when per-site cost correlates with rank.  Both are
+    pure functions of the site list and shard count.
+    """
+
+    shards: Tuple[Shard, ...]
+    strategy: str = "contiguous"
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    @classmethod
+    def for_sites(cls, sites: Sequence[SiteSpec], n_shards: int,
+                  strategy: str = "contiguous") -> "ShardPlan":
+        ranks = sorted(site.rank for site in sites)
+        return cls.for_ranks(ranks, n_shards, strategy)
+
+    @classmethod
+    def for_population(cls, population: Population, n_shards: int,
+                       strategy: str = "contiguous") -> "ShardPlan":
+        return cls.for_sites(population.sites, n_shards, strategy)
+
+    @classmethod
+    def for_ranks(cls, ranks: Sequence[int], n_shards: int,
+                  strategy: str = "contiguous") -> "ShardPlan":
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if strategy not in ("contiguous", "stride"):
+            raise ValueError(f"unknown shard strategy {strategy!r}")
+        ranks = sorted(ranks)
+        n_shards = min(n_shards, max(len(ranks), 1))
+        parts: List[Tuple[int, ...]]
+        if strategy == "stride":
+            parts = [tuple(ranks[i::n_shards]) for i in range(n_shards)]
+        else:
+            base, extra = divmod(len(ranks), n_shards)
+            parts = []
+            start = 0
+            for index in range(n_shards):
+                size = base + (1 if index < extra else 0)
+                parts.append(tuple(ranks[start:start + size]))
+                start += size
+        shards = tuple(Shard(index=i, of=n_shards, ranks=part)
+                       for i, part in enumerate(parts))
+        return cls(shards=shards, strategy=strategy)
+
+
+def derive_shard_config(config: CrawlConfig, shard: Shard) -> CrawlConfig:
+    """The per-shard crawl configuration.
+
+    Only the shard labels change; the seed MUST stay global because the
+    per-visit rng is keyed ``[seed, site.rank]`` — deriving a per-shard
+    seed would make results depend on the shard layout.
+    """
+    return replace(config, shard_index=shard.index, shard_count=shard.of)
+
+
+# ---------------------------------------------------------------------------
+# Worker-process plumbing
+# ---------------------------------------------------------------------------
+
+# Populated once per worker by the pool initializer; workers then only
+# receive (small) Shard descriptions per task.
+_WORKER: Dict[str, object] = {}
+
+
+def _init_worker(population: Population, config: CrawlConfig) -> None:
+    _WORKER["population"] = population
+    _WORKER["config"] = config
+    _WORKER["by_rank"] = {site.rank: site for site in population.sites}
+
+
+def _shard_sites(shard: Shard) -> List[SiteSpec]:
+    by_rank = _WORKER["by_rank"]
+    return [by_rank[rank] for rank in shard.ranks]
+
+
+def _crawl_shard(args) -> Tuple[int, List[VisitLog]]:
+    """Crawl one shard and return its logs (pickled back to the parent)."""
+    shard, keep_incomplete = args
+    config = derive_shard_config(_WORKER["config"], shard)
+    crawler = Crawler(_WORKER["population"], config)
+    logs = crawler.crawl(_shard_sites(shard), keep_incomplete=keep_incomplete)
+    return shard.index, logs
+
+
+def _crawl_shard_to_file(args) -> Tuple[int, str, int]:
+    """Crawl one shard and stream it straight to its shard file."""
+    shard, keep_incomplete, directory, compress = args
+    config = derive_shard_config(_WORKER["config"], shard)
+    crawler = Crawler(_WORKER["population"], config)
+    logs = crawler.crawl(_shard_sites(shard), keep_incomplete=keep_incomplete)
+    count = save_shard(logs, directory, shard.index, compress=compress)
+    return shard.index, shard_filename(shard.index, compress), count
+
+
+# ---------------------------------------------------------------------------
+# The parallel crawler
+# ---------------------------------------------------------------------------
+
+class ParallelCrawler:
+    """Fans a crawl out over worker processes, deterministically.
+
+    ``executor`` selects the backend: ``"process"`` forces a
+    :mod:`multiprocessing` pool, ``"serial"`` runs every shard in this
+    process, and ``"auto"`` (default) uses a pool only when ``jobs > 1``.
+    Results are merged in rank order, so the executor choice never
+    changes the output.
+    """
+
+    def __init__(self, population: Population,
+                 config: Optional[CrawlConfig] = None,
+                 jobs: int = 1,
+                 executor: str = "auto",
+                 strategy: str = "contiguous",
+                 mp_context: Optional[str] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if executor not in ("auto", "serial", "process"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.population = population
+        self.config = config or CrawlConfig()
+        self.jobs = jobs
+        self.executor = executor
+        self.strategy = strategy
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    def plan(self, sites: Optional[Sequence[SiteSpec]] = None,
+             n_shards: Optional[int] = None) -> ShardPlan:
+        if sites is None:
+            sites = self.population.sites
+        if n_shards is None:
+            n_shards = self.jobs
+        return ShardPlan.for_sites(sites, n_shards, self.strategy)
+
+    # ------------------------------------------------------------------
+    def crawl(self, sites: Optional[Sequence[SiteSpec]] = None,
+              keep_incomplete: bool = False,
+              n_shards: Optional[int] = None) -> List[VisitLog]:
+        """Crawl in parallel; returns retained logs in rank order."""
+        plan = self.plan(sites, n_shards)
+        tasks = [(shard, keep_incomplete) for shard in plan]
+        results = self._run(_crawl_shard, tasks)
+        logs: List[VisitLog] = []
+        for _index, shard_logs in sorted(results, key=lambda r: r[0]):
+            logs.extend(shard_logs)
+        logs.sort(key=lambda log: log.rank)
+        return logs
+
+    # ------------------------------------------------------------------
+    def crawl_to_dir(self, directory: Union[str, Path],
+                     sites: Optional[Sequence[SiteSpec]] = None,
+                     keep_incomplete: bool = False,
+                     n_shards: Optional[int] = None,
+                     compress: bool = False) -> ShardManifest:
+        """Crawl and stream each shard to its own file under ``directory``.
+
+        Workers write their shard files directly, so peak memory is one
+        shard's logs per worker; the returned (and saved) manifest makes
+        the directory loadable via ``load_logs``/``iter_logs``.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        plan = self.plan(sites, n_shards)
+        tasks = [(shard, keep_incomplete, str(directory), compress)
+                 for shard in plan]
+        results = sorted(self._run(_crawl_shard_to_file, tasks),
+                         key=lambda r: r[0])
+        manifest = ShardManifest(
+            n_shards=plan.n_shards,
+            total=sum(count for _i, _f, count in results),
+            compress=compress,
+            files=tuple(name for _i, name, _c in results),
+            counts=tuple(count for _i, _f, count in results),
+        )
+        manifest.save(directory)
+        return manifest
+
+    # ------------------------------------------------------------------
+    def _run(self, task, args_list: List) -> List:
+        use_pool = (self.executor == "process"
+                    or (self.executor == "auto"
+                        and self.jobs > 1 and len(args_list) > 1))
+        if not use_pool:
+            _init_worker(self.population, self.config)
+            try:
+                return [task(args) for args in args_list]
+            finally:
+                _WORKER.clear()
+        context = multiprocessing.get_context(self.mp_context)
+        processes = min(self.jobs, len(args_list))
+        with context.Pool(processes=processes, initializer=_init_worker,
+                          initargs=(self.population, self.config)) as pool:
+            return pool.map(task, args_list)

@@ -1,15 +1,44 @@
-"""Persistence for crawl datasets (JSONL, optionally gzipped)."""
+"""Persistence for crawl datasets (JSONL, optionally gzipped).
+
+Two on-disk layouts are supported:
+
+* **Single file** — one JSON object per visit, the seed layout.
+* **Sharded directory** — ``shard-0000.jsonl[.gz] … shard-NNNN.jsonl[.gz]``
+  plus a ``manifest.json`` describing the shards.  This is what the
+  parallel crawl engine streams to, so a full-scale crawl never has to
+  hold every :class:`VisitLog` in memory at once.
+
+``save_logs``/``load_logs`` speak both layouts: pass ``shards=N`` (or a
+directory path) to write the sharded form; ``load_logs`` detects a
+manifest directory automatically and validates it while reading.
+"""
 
 from __future__ import annotations
 
 import gzip
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from .logs import VisitLog
 
-__all__ = ["save_logs", "load_logs", "CrawlDataset"]
+__all__ = [
+    "CrawlDataset",
+    "ManifestError",
+    "ShardManifest",
+    "iter_logs",
+    "load_logs",
+    "save_logs",
+    "shard_filename",
+]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+class ManifestError(ValueError):
+    """A sharded dataset's manifest is missing, malformed, or stale."""
 
 
 def _open(path: Path, mode: str):
@@ -18,9 +47,93 @@ def _open(path: Path, mode: str):
     return open(path, mode, encoding="utf-8")
 
 
-def save_logs(logs: Iterable[VisitLog], path: Union[str, Path]) -> int:
-    """Write one JSON object per visit; returns the number written."""
-    path = Path(path)
+def shard_filename(index: int, compress: bool = False) -> str:
+    return f"shard-{index:04d}.jsonl" + (".gz" if compress else "")
+
+
+# ---------------------------------------------------------------------------
+# Manifest
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """Describes a sharded crawl directory (``manifest.json``)."""
+
+    n_shards: int
+    total: int
+    compress: bool
+    files: tuple          # shard file names, indexed by shard
+    counts: tuple         # logs per shard, indexed by shard
+    version: int = MANIFEST_VERSION
+
+    def to_dict(self) -> Dict:
+        return {
+            "version": self.version,
+            "n_shards": self.n_shards,
+            "total": self.total,
+            "compress": self.compress,
+            "shards": [{"index": i, "file": f, "count": c}
+                       for i, (f, c) in enumerate(zip(self.files,
+                                                      self.counts))],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ShardManifest":
+        try:
+            version = int(data["version"])
+            if version != MANIFEST_VERSION:
+                raise ManifestError(
+                    f"unsupported manifest version {version} "
+                    f"(expected {MANIFEST_VERSION})")
+            shards = sorted(data["shards"], key=lambda s: int(s["index"]))
+            indexes = [int(s["index"]) for s in shards]
+            if indexes != list(range(len(shards))):
+                raise ManifestError(f"non-contiguous shard indexes {indexes}")
+            manifest = cls(
+                n_shards=int(data["n_shards"]),
+                total=int(data["total"]),
+                compress=bool(data["compress"]),
+                files=tuple(str(s["file"]) for s in shards),
+                counts=tuple(int(s["count"]) for s in shards),
+                version=version,
+            )
+        except ManifestError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestError(f"malformed manifest: {exc}") from exc
+        if manifest.n_shards != len(manifest.files):
+            raise ManifestError(
+                f"manifest lists {len(manifest.files)} shards "
+                f"but declares n_shards={manifest.n_shards}")
+        if manifest.total != sum(manifest.counts):
+            raise ManifestError(
+                f"manifest total {manifest.total} != "
+                f"sum of shard counts {sum(manifest.counts)}")
+        return manifest
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        path = Path(directory) / MANIFEST_NAME
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n",
+                        encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "ShardManifest":
+        path = Path(directory) / MANIFEST_NAME
+        if not path.exists():
+            raise ManifestError(f"no {MANIFEST_NAME} in {directory}")
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ManifestError(f"unreadable manifest {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+def _write_shard(logs: Iterable[VisitLog], path: Path) -> int:
     count = 0
     with _open(path, "w") as handle:
         for log in logs:
@@ -29,16 +142,104 @@ def save_logs(logs: Iterable[VisitLog], path: Union[str, Path]) -> int:
     return count
 
 
-def load_logs(path: Union[str, Path]) -> List[VisitLog]:
-    """Read a JSONL crawl dataset back into :class:`VisitLog` objects."""
+def save_shard(logs: Iterable[VisitLog], directory: Union[str, Path],
+               index: int, compress: bool = False) -> int:
+    """Write one shard file into ``directory``; returns its log count.
+
+    Used by parallel workers, which each own one shard; the coordinator
+    assembles and saves the :class:`ShardManifest` afterwards.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return _write_shard(logs, directory / shard_filename(index, compress))
+
+
+def save_logs(logs: Iterable[VisitLog], path: Union[str, Path],
+              shards: Optional[int] = None, compress: bool = False) -> int:
+    """Write a crawl dataset; returns the number of logs written.
+
+    With ``shards`` unset and a file path, writes the single-file JSONL
+    layout (gzipped when the name ends in ``.gz``).  With ``shards=N``
+    — or when ``path`` is an existing directory — writes the sharded
+    layout: logs are split into ``N`` near-even contiguous runs (in the
+    given order), one file per shard, plus ``manifest.json``.
+    """
     path = Path(path)
-    logs: List[VisitLog] = []
+    if shards is None and not path.is_dir():
+        return _write_shard(logs, path)
+
+    n_shards = max(int(shards or 1), 1)
+    logs = list(logs)
+    path.mkdir(parents=True, exist_ok=True)
+    base, extra = divmod(len(logs), n_shards)
+    counts: List[int] = []
+    files: List[str] = []
+    start = 0
+    for index in range(n_shards):
+        size = base + (1 if index < extra else 0)
+        chunk = logs[start:start + size]
+        start += size
+        name = shard_filename(index, compress)
+        _write_shard(chunk, path / name)
+        files.append(name)
+        counts.append(len(chunk))
+    ShardManifest(n_shards=n_shards, total=len(logs), compress=compress,
+                  files=tuple(files), counts=tuple(counts)).save(path)
+    return len(logs)
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+def _iter_file(path: Path) -> Iterator[VisitLog]:
     with _open(path, "r") as handle:
         for line in handle:
             line = line.strip()
             if line:
-                logs.append(VisitLog.from_dict(json.loads(line)))
-    return logs
+                yield VisitLog.from_dict(json.loads(line))
+
+
+def iter_logs(path: Union[str, Path]) -> Iterator[VisitLog]:
+    """Stream a dataset one :class:`VisitLog` at a time.
+
+    Accepts a single JSONL file or a sharded directory; shards stream in
+    index order and each shard's log count is checked against the
+    manifest (:class:`ManifestError` on mismatch or missing files).
+    """
+    path = Path(path)
+    if not path.is_dir():
+        yield from _iter_file(path)
+        return
+    manifest = ShardManifest.load(path)
+    for index, (name, expected) in enumerate(zip(manifest.files,
+                                                 manifest.counts)):
+        shard_path = path / name
+        if not shard_path.exists():
+            raise ManifestError(f"manifest lists missing shard {name}")
+        seen = 0
+        for log in _iter_file(shard_path):
+            seen += 1
+            yield log
+        if seen != expected:
+            raise ManifestError(
+                f"shard {index} ({name}) holds {seen} logs, "
+                f"manifest says {expected}")
+
+
+def load_logs(path: Union[str, Path]) -> List[VisitLog]:
+    """Read a crawl dataset (single file or sharded directory)."""
+    return list(iter_logs(path))
+
+
+def load_shard(directory: Union[str, Path], index: int) -> List[VisitLog]:
+    """Read one shard of a sharded dataset."""
+    directory = Path(directory)
+    manifest = ShardManifest.load(directory)
+    if not 0 <= index < manifest.n_shards:
+        raise ManifestError(
+            f"shard index {index} out of range 0..{manifest.n_shards - 1}")
+    return list(_iter_file(directory / manifest.files[index]))
 
 
 class CrawlDataset:
@@ -51,8 +252,9 @@ class CrawlDataset:
     def from_file(cls, path: Union[str, Path]) -> "CrawlDataset":
         return cls(load_logs(path))
 
-    def save(self, path: Union[str, Path]) -> int:
-        return save_logs(self.logs, path)
+    def save(self, path: Union[str, Path],
+             shards: Optional[int] = None, compress: bool = False) -> int:
+        return save_logs(self.logs, path, shards=shards, compress=compress)
 
     @property
     def complete(self) -> List[VisitLog]:

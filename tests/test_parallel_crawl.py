@@ -1,0 +1,215 @@
+"""Determinism of the parallel sharded crawl engine.
+
+The contract under test: for the same population and seed, the parallel
+crawler produces *bit-for-bit* the same ``VisitLog.to_dict()`` stream as
+the serial crawler (after ordering by rank), for any worker count, shard
+strategy, and executor — and ``Study`` aggregation is independent of the
+shard partition and merge order.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Study, StudyAccumulator
+from repro.crawler import (
+    CrawlConfig,
+    Crawler,
+    ParallelCrawler,
+    ShardPlan,
+    derive_shard_config,
+)
+from repro.crawler.crawler import _stable_token
+
+
+def _stream(logs):
+    return [json.dumps(log.to_dict(), sort_keys=True)
+            for log in sorted(logs, key=lambda log: log.rank)]
+
+
+# ---------------------------------------------------------------------------
+# Shard planning
+# ---------------------------------------------------------------------------
+
+class TestShardPlan:
+    def test_partition_covers_all_ranks(self, population):
+        plan = ShardPlan.for_population(population, 7)
+        seen = [rank for shard in plan for rank in shard.ranks]
+        assert sorted(seen) == sorted(s.rank for s in population.sites)
+        assert len(seen) == len(set(seen))
+
+    def test_contiguous_shards_are_rank_runs(self, population):
+        plan = ShardPlan.for_population(population, 5)
+        for shard in plan:
+            assert list(shard.ranks) == sorted(shard.ranks)
+            assert shard.ranks[-1] - shard.ranks[0] == len(shard.ranks) - 1
+
+    def test_stride_partition_covers_all_ranks(self, population):
+        plan = ShardPlan.for_population(population, 5, strategy="stride")
+        seen = sorted(rank for shard in plan for rank in shard.ranks)
+        assert seen == sorted(s.rank for s in population.sites)
+
+    def test_deterministic(self, population):
+        a = ShardPlan.for_population(population, 4)
+        b = ShardPlan.for_population(population, 4)
+        assert a == b
+
+    def test_near_even_sizes(self, population):
+        plan = ShardPlan.for_population(population, 7)
+        sizes = [len(shard) for shard in plan]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_sites(self):
+        plan = ShardPlan.for_ranks([1, 2, 3], 10)
+        assert plan.n_shards == 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ShardPlan.for_ranks([1, 2], 0)
+        with pytest.raises(ValueError):
+            ShardPlan.for_ranks([1, 2], 2, strategy="random")
+
+    def test_config_derivation_keeps_seed(self):
+        base = CrawlConfig(seed=77, interact=False)
+        plan = ShardPlan.for_ranks(list(range(1, 11)), 3)
+        for shard in plan:
+            derived = derive_shard_config(base, shard)
+            assert derived.seed == 77
+            assert derived.interact is False
+            assert derived.shard_index == shard.index
+            assert derived.shard_count == 3
+
+
+# ---------------------------------------------------------------------------
+# Crawl determinism
+# ---------------------------------------------------------------------------
+
+class TestParallelDeterminism:
+    @pytest.fixture(scope="class")
+    def serial_stream(self, crawl_logs):
+        return _stream(crawl_logs)
+
+    def test_serial_executor_matches(self, population, serial_stream):
+        crawler = ParallelCrawler(population, CrawlConfig(seed=2025), jobs=1)
+        assert _stream(crawler.crawl(n_shards=4)) == serial_stream
+
+    def test_two_workers_match(self, population, serial_stream):
+        crawler = ParallelCrawler(population, CrawlConfig(seed=2025), jobs=2)
+        assert _stream(crawler.crawl()) == serial_stream
+
+    def test_stride_strategy_matches(self, population):
+        sites = population.successful_sites()[:40]
+        serial = Crawler(population, CrawlConfig(seed=2025)).crawl(sites)
+        crawler = ParallelCrawler(population, CrawlConfig(seed=2025),
+                                  jobs=2, strategy="stride")
+        assert _stream(crawler.crawl(sites)) == _stream(serial)
+
+    @pytest.mark.slow
+    def test_four_workers_match(self, population, serial_stream):
+        crawler = ParallelCrawler(population, CrawlConfig(seed=2025), jobs=4)
+        assert _stream(crawler.crawl(n_shards=8)) == serial_stream
+
+    def test_forced_process_executor_single_job(self, population):
+        sites = population.successful_sites()[:12]
+        serial = Crawler(population, CrawlConfig(seed=2025)).crawl(sites)
+        crawler = ParallelCrawler(population, CrawlConfig(seed=2025),
+                                  jobs=1, executor="process")
+        assert _stream(crawler.crawl(sites, n_shards=2)) == _stream(serial)
+
+
+# ---------------------------------------------------------------------------
+# Study merge determinism
+# ---------------------------------------------------------------------------
+
+def _results(study: Study):
+    return (study.table1(), study.table2(20), study.table5(10),
+            study.figure2(20), study.figure8(20),
+            study.sec51_prevalence(), study.sec52_api_usage(),
+            study.sec55_overwrite_attributes(), study.sec56_inclusion(),
+            study.sec8_dom_pilot())
+
+
+class TestStudyMerge:
+    @pytest.fixture(scope="class")
+    def shards(self, crawl_logs):
+        return [list(crawl_logs)[i::3] for i in range(3)]
+
+    def test_from_shards_equals_monolithic(self, study, shards):
+        assert _results(Study.from_shards(shards)) == _results(study)
+
+    def test_shard_order_independent(self, study, shards):
+        reordered = [shards[2], shards[0], shards[1]]
+        assert _results(Study.from_shards(reordered)) == _results(study)
+
+    def test_pairwise_merge_equals_monolithic(self, study, shards):
+        merged = Study(shards[0]).merge(Study(shards[1])) \
+                                 .merge(Study(shards[2]))
+        assert _results(merged) == _results(study)
+
+    def test_from_accumulators_without_logs(self, study, shards):
+        accs = [StudyAccumulator().add_all(shard) for shard in shards]
+        merged = Study.from_shards(accs)
+        assert merged.logs == []
+        assert merged.n_sites == study.n_sites
+        assert _results(merged) == _results(study)
+
+    def test_merged_logs_sorted_by_rank(self, study, shards):
+        merged = Study.from_shards([shards[1], shards[0], shards[2]])
+        ranks = [log.rank for log in merged.logs]
+        assert ranks == sorted(ranks)
+        assert len(ranks) == study.n_sites
+
+    def test_overlapping_shards_rejected(self, crawl_logs):
+        shard = list(crawl_logs)[:5]
+        with pytest.raises(ValueError, match="overlapping"):
+            Study.from_shards([shard, shard])
+
+
+# ---------------------------------------------------------------------------
+# Crawler state hygiene (the satellite bug fixes)
+# ---------------------------------------------------------------------------
+
+class TestCrawlerStateHygiene:
+    def test_guards_reset_between_crawls(self, population):
+        crawler = Crawler(population, CrawlConfig(install_guard=True))
+        sites = population.successful_sites()[:4]
+        crawler.crawl(sites)
+        assert len(crawler.guards) == 4
+        crawler.crawl(sites)
+        assert len(crawler.guards) == 4
+
+    def test_stable_token_is_process_independent(self):
+        # Locked-in constants: blake2b is keyless and unsalted, so these
+        # values cannot drift across processes or PYTHONHASHSEED values
+        # (unlike the builtin hash() they replaced).
+        assert _stable_token("example.com", 10**12) == 772579972710
+        assert _stable_token("moc.elpmaxe", 10**10) == 1519728271
+
+    @pytest.mark.slow
+    def test_cookie_values_stable_across_hash_seeds(self):
+        script = (
+            "import hashlib, json\n"
+            "from repro.ecosystem import PopulationConfig, generate_population\n"
+            "from repro.crawler import CrawlConfig, Crawler\n"
+            "pop = generate_population(PopulationConfig(n_sites=5, seed=2025))\n"
+            "logs = Crawler(pop, CrawlConfig(seed=2025)).crawl(\n"
+            "    keep_incomplete=True)\n"
+            "stream = ''.join(json.dumps(l.to_dict(), sort_keys=True)\n"
+            "                 for l in logs)\n"
+            "print(len(stream), hashlib.sha256(stream.encode()).hexdigest())\n"
+        )
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        outputs = []
+        for hash_seed in ("0", "424242"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": src, "PYTHONHASHSEED": hash_seed,
+                     "PATH": "/usr/bin:/bin"})
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]

@@ -1,0 +1,152 @@
+"""Sharded crawl-dataset storage: round-trips, streaming, manifest errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Study
+from repro.crawler import (
+    CrawlConfig,
+    ManifestError,
+    ParallelCrawler,
+    ShardManifest,
+    iter_logs,
+    load_logs,
+    save_logs,
+)
+from repro.crawler.storage import MANIFEST_NAME, load_shard, shard_filename
+
+
+def _stream(logs):
+    return [json.dumps(log.to_dict(), sort_keys=True)
+            for log in sorted(logs, key=lambda log: log.rank)]
+
+
+@pytest.fixture()
+def sharded_dir(crawl_logs, tmp_path):
+    directory = tmp_path / "crawl"
+    save_logs(crawl_logs, directory, shards=4)
+    return directory
+
+
+class TestShardedRoundTrip:
+    @pytest.mark.parametrize("compress", [False, True],
+                             ids=["plain", "gzip"])
+    def test_save_load_identical(self, crawl_logs, tmp_path, compress):
+        directory = tmp_path / "crawl"
+        written = save_logs(crawl_logs, directory, shards=3,
+                            compress=compress)
+        assert written == len(crawl_logs)
+        suffix = ".jsonl.gz" if compress else ".jsonl"
+        assert (directory / f"shard-0000{suffix}").exists()
+        assert _stream(load_logs(directory)) == _stream(crawl_logs)
+
+    @pytest.mark.parametrize("compress", [False, True],
+                             ids=["plain", "gzip"])
+    def test_sharded_study_equals_in_memory(self, crawl_logs, tmp_path,
+                                            compress):
+        directory = tmp_path / "crawl"
+        save_logs(crawl_logs, directory, shards=3, compress=compress)
+        manifest = ShardManifest.load(directory)
+        shards = [load_shard(directory, i)
+                  for i in range(manifest.n_shards)]
+        merged = Study.from_shards(shards)
+        mono = Study(crawl_logs)
+        assert merged.table1() == mono.table1()
+        assert merged.table2(20) == mono.table2(20)
+        assert merged.table5(10) == mono.table5(10)
+        assert merged.sec51_prevalence() == mono.sec51_prevalence()
+
+    def test_existing_directory_implies_sharded(self, crawl_logs, tmp_path):
+        directory = tmp_path / "crawl"
+        directory.mkdir()
+        save_logs(crawl_logs[:6], directory)
+        manifest = ShardManifest.load(directory)
+        assert manifest.n_shards == 1
+        assert manifest.total == 6
+
+    def test_iter_logs_streams_in_shard_order(self, sharded_dir, crawl_logs):
+        streamed = list(iter_logs(sharded_dir))
+        assert _stream(streamed) == _stream(crawl_logs)
+
+    def test_load_shard_partition(self, sharded_dir, crawl_logs):
+        manifest = ShardManifest.load(sharded_dir)
+        pieces = [load_shard(sharded_dir, i)
+                  for i in range(manifest.n_shards)]
+        assert [len(piece) for piece in pieces] == list(manifest.counts)
+        flat = [log for piece in pieces for log in piece]
+        assert _stream(flat) == _stream(crawl_logs)
+
+    def test_parallel_crawl_to_dir_matches_serial_save(self, population,
+                                                       crawl_logs, tmp_path):
+        directory = tmp_path / "parallel"
+        crawler = ParallelCrawler(population, CrawlConfig(seed=2025), jobs=2)
+        manifest = crawler.crawl_to_dir(directory, n_shards=3)
+        assert manifest.total == len(crawl_logs)
+        assert _stream(load_logs(directory)) == _stream(crawl_logs)
+
+    def test_single_file_layout_unchanged(self, crawl_logs, tmp_path):
+        path = tmp_path / "crawl.jsonl"
+        save_logs(crawl_logs[:5], path)
+        assert path.is_file()
+        assert len(load_logs(path)) == 5
+
+
+class TestManifestErrors:
+    def test_missing_manifest(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ManifestError, match="no manifest"):
+            load_logs(empty)
+
+    def test_missing_shard_file(self, sharded_dir):
+        (sharded_dir / shard_filename(2)).unlink()
+        with pytest.raises(ManifestError, match="missing shard"):
+            load_logs(sharded_dir)
+
+    def test_count_mismatch(self, sharded_dir):
+        shard = sharded_dir / shard_filename(1)
+        lines = shard.read_text().splitlines()
+        shard.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ManifestError, match="manifest says"):
+            load_logs(sharded_dir)
+
+    def test_total_mismatch(self, sharded_dir):
+        manifest_path = sharded_dir / MANIFEST_NAME
+        data = json.loads(manifest_path.read_text())
+        data["total"] += 1
+        manifest_path.write_text(json.dumps(data))
+        with pytest.raises(ManifestError, match="sum of shard counts"):
+            load_logs(sharded_dir)
+
+    def test_unsupported_version(self, sharded_dir):
+        manifest_path = sharded_dir / MANIFEST_NAME
+        data = json.loads(manifest_path.read_text())
+        data["version"] = 99
+        manifest_path.write_text(json.dumps(data))
+        with pytest.raises(ManifestError, match="version"):
+            load_logs(sharded_dir)
+
+    def test_malformed_json(self, sharded_dir):
+        (sharded_dir / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(ManifestError, match="unreadable"):
+            load_logs(sharded_dir)
+
+    def test_missing_fields(self, sharded_dir):
+        (sharded_dir / MANIFEST_NAME).write_text(json.dumps({"version": 1}))
+        with pytest.raises(ManifestError, match="malformed"):
+            load_logs(sharded_dir)
+
+    def test_non_contiguous_indexes(self, sharded_dir):
+        manifest_path = sharded_dir / MANIFEST_NAME
+        data = json.loads(manifest_path.read_text())
+        data["shards"][0]["index"] = 7
+        manifest_path.write_text(json.dumps(data))
+        with pytest.raises(ManifestError, match="non-contiguous"):
+            load_logs(sharded_dir)
+
+    def test_shard_index_out_of_range(self, sharded_dir):
+        with pytest.raises(ManifestError, match="out of range"):
+            load_shard(sharded_dir, 11)
