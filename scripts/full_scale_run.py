@@ -3,12 +3,15 @@
 
 Writes all measured numbers to results_full_scale.txt for EXPERIMENTS.md.
 
-Usage: full_scale_run.py [N] [OUT] [--jobs J] [--shards S]
+Usage: full_scale_run.py [N] [OUT] [--jobs J] [--concurrency C]
+                         [--shards S]
 
-``--jobs`` fans the crawl over J worker processes (bit-identical to the
-serial crawl); ``--shards`` additionally aggregates the study shard by
-shard through ``Study.from_shards`` — the two paths produce identical
-tables by construction.
+``--jobs`` fans the crawl over J worker processes and ``--concurrency``
+overlaps C in-flight visits inside each worker via the cooperative
+visit engine (both bit-identical to the serial crawl); ``--shards``
+additionally aggregates the study shard by shard through
+``Study.from_shards`` — all paths produce identical tables by
+construction.
 """
 
 import sys
@@ -33,6 +36,7 @@ from repro.evaluation import (
 
 _ARGS = sys.argv[1:]
 JOBS = pop_int_flag(_ARGS, "--jobs", 1, minimum=1)
+CONCURRENCY = pop_int_flag(_ARGS, "--concurrency", 1, minimum=1)
 SHARDS = pop_int_flag(_ARGS, "--shards", 0, minimum=1)
 reject_unknown_flags(_ARGS)
 N = int(_ARGS[0]) if _ARGS else 20_000
@@ -51,10 +55,12 @@ def main():
     emit(f"population: {N} sites ({time.time()-t0:.0f}s)")
 
     t0 = time.time()
-    crawler = ParallelCrawler(population, CrawlConfig(seed=2025), jobs=JOBS)
+    crawler = ParallelCrawler(
+        population, CrawlConfig(seed=2025, concurrency=CONCURRENCY),
+        jobs=JOBS)
     logs = crawler.crawl()
     emit(f"crawl: retained {len(logs)}/{N} sites ({time.time()-t0:.0f}s, "
-         f"jobs={JOBS}) [paper: 14,917/20,000]")
+         f"jobs={JOBS}, concurrency={CONCURRENCY}) [paper: 14,917/20,000]")
 
     t0 = time.time()
     if SHARDS > 0:

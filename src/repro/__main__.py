@@ -6,23 +6,30 @@ study [N] [--jobs J]
     run the §5 measurement study (default 2000 sites)
 evaluate [N]
     run the §7 CookieGuard evaluation (default 1000 sites)
-crawl [N] [OUT] [--jobs J] [--shards S] [--gzip]
+crawl [N] [OUT] [--jobs J] [--concurrency C] [--shards S] [--gzip]
+      [--progress]
     crawl and save raw visit logs.  OUT is a single ``.jsonl[.gz]``
     file by default; with ``--shards`` it is a directory holding
     ``shard-NNNN.jsonl[.gz]`` files plus a ``manifest.json``
-full [N] [OUT] [--jobs J] [--shards S]
+full [N] [OUT] [--jobs J] [--concurrency C] [--shards S]
     the complete paper reproduction in one shot
 
 Options
 -------
---jobs J    fan the crawl out over J worker processes (default 1 =
-            serial).  Per-site seeding makes the result bit-identical
-            to a serial crawl for any J.
---shards S  split the saved dataset into S shard files + manifest
-            (default: a single file; OUT is treated as a directory
-            when --shards is given).
---gzip      gzip shard files (single-file output is gzipped when OUT
-            ends in ``.gz``).
+--jobs J         fan the crawl out over J worker processes (default
+                 1 = serial).  Per-site seeding makes the result
+                 bit-identical to a serial crawl for any J.
+--concurrency C  overlap C in-flight visits per worker via the
+                 cooperative visit engine (default 1 = serial inside
+                 a worker).  Output is bit-identical for any C.
+--shards S       split the saved dataset into S shard files + manifest
+                 (default: a single file; OUT is treated as a
+                 directory when --shards is given).
+--gzip           gzip shard files (single-file output is gzipped when
+                 OUT ends in ``.gz``).
+--progress       print one stderr line per completed shard batch.
+
+A lone ``--`` ends option parsing; later arguments are positional.
 """
 
 from __future__ import annotations
@@ -40,8 +47,10 @@ def _usage() -> None:
 
 def _run_crawl(args: List[str]) -> None:
     jobs = pop_int_flag(args, "--jobs", 1, minimum=1)
+    concurrency = pop_int_flag(args, "--concurrency", 1, minimum=1)
     shards = pop_int_flag(args, "--shards", 0, minimum=1) or None
     compress = pop_switch(args, "--gzip")
+    show_progress = pop_switch(args, "--progress")
     reject_unknown_flags(args)
     n_sites = int(args[0]) if args else 2000
     default_out = "crawl" if shards else "crawl.jsonl.gz"
@@ -49,20 +58,25 @@ def _run_crawl(args: List[str]) -> None:
     if compress and not shards and not str(out).endswith(".gz"):
         out = f"{out}.gz"
 
-    from .crawler import CrawlConfig, ParallelCrawler, save_logs
+    from .crawler import (CrawlConfig, ParallelCrawler, print_progress,
+                          save_logs)
     from .ecosystem import PopulationConfig, generate_population
     population = generate_population(PopulationConfig(n_sites=n_sites,
                                                       seed=2025))
-    crawler = ParallelCrawler(population, CrawlConfig(seed=2025), jobs=jobs)
+    crawler = ParallelCrawler(
+        population, CrawlConfig(seed=2025, concurrency=concurrency),
+        jobs=jobs, progress=print_progress if show_progress else None)
     if shards:
         manifest = crawler.crawl_to_dir(out, n_shards=shards,
                                         compress=compress)
         print(f"saved {manifest.total} visit logs to {out}/ "
-              f"({manifest.n_shards} shards, jobs={jobs})")
+              f"({manifest.n_shards} shards, jobs={jobs}, "
+              f"concurrency={concurrency})")
     else:
         logs = crawler.crawl()
         written = save_logs(logs, out)
-        print(f"saved {written} visit logs to {out} (jobs={jobs})")
+        print(f"saved {written} visit logs to {out} "
+              f"(jobs={jobs}, concurrency={concurrency})")
 
 
 def main(argv=None) -> None:

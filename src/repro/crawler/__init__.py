@@ -2,6 +2,7 @@
 
 from .crawler import (CrawlConfig, Crawler, crawl_population,
                       render_site_html)
+from .engine import VisitEngine, WaitPoint, drive
 from .logs import (
     API_COOKIE_STORE,
     API_DOCUMENT_COOKIE,
@@ -12,7 +13,8 @@ from .logs import (
     RequestEvent,
     VisitLog,
 )
-from .parallel import ParallelCrawler, Shard, ShardPlan, derive_shard_config
+from .parallel import (CrawlProgress, ParallelCrawler, Shard, ShardPlan,
+                       derive_shard_config, print_progress)
 from .storage import (CrawlDataset, ManifestError, ShardManifest, iter_logs,
                       load_logs, save_logs)
 
@@ -25,6 +27,11 @@ __all__ = [
     "Shard",
     "ShardPlan",
     "derive_shard_config",
+    "CrawlProgress",
+    "print_progress",
+    "VisitEngine",
+    "WaitPoint",
+    "drive",
     "ManifestError",
     "ShardManifest",
     "iter_logs",

@@ -9,13 +9,20 @@ were collected.
 The same harness drives the CookieGuard evaluation crawls: pass
 ``install_guard=True`` (and optionally a policy) to reproduce the
 "with extension" condition of Figure 5.
+
+Each visit is written as a resumable coroutine (:meth:`Crawler.
+visit_steps`) yielding :class:`~repro.crawler.engine.WaitPoint`\\ s at
+its simulated idle moments, so the cooperative engine can overlap many
+in-flight visits per worker; the serial API (:meth:`Crawler.visit_site`,
+``concurrency=1``) is the trivial schedule of the same coroutine.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple)
 
 import numpy as np
 
@@ -32,6 +39,7 @@ from ..net.dns import Resolver
 from ..net.headers import Headers
 from ..net.http import Request, Response, ResourceType
 from ..records import DomMutationEvent, ScriptRecord, VisitLog
+from .engine import VisitEngine, WaitPoint, drive
 
 __all__ = ["CrawlConfig", "Crawler", "crawl_population"]
 
@@ -44,6 +52,11 @@ class CrawlConfig:
     the parallel engine (:mod:`repro.crawler.parallel`); the ``seed`` is
     deliberately *not* derived per shard — every visit is seeded with
     ``[seed, site.rank]``, so shard membership can never change a visit.
+
+    ``concurrency`` is how many in-flight visits the cooperative
+    scheduler (:mod:`repro.crawler.engine`) overlaps per worker;
+    1 (the default) is the plain serial schedule.  Because visits are
+    independent, any value produces bit-identical logs.
     """
 
     seed: int = 2025
@@ -54,6 +67,7 @@ class CrawlConfig:
     guard_uncloak_dns: bool = False
     shard_index: int = 0
     shard_count: int = 1
+    concurrency: int = 1
 
 
 class Crawler:
@@ -68,31 +82,70 @@ class Crawler:
 
     # ------------------------------------------------------------------
     def crawl(self, sites: Optional[Sequence[SiteSpec]] = None,
-              keep_incomplete: bool = False) -> List[VisitLog]:
+              keep_incomplete: bool = False,
+              concurrency: Optional[int] = None) -> List[VisitLog]:
         """Crawl ``sites`` (default: the whole population).
 
         Returns the retained visit logs — those with both cookie and
         network data, matching the paper's 14,917/20,000 criterion —
-        unless ``keep_incomplete`` is set.
+        unless ``keep_incomplete`` is set.  ``concurrency`` overrides
+        the config's in-flight visit count; the output is identical for
+        any value (see :mod:`repro.crawler.engine`).
 
         ``self.guards`` holds the guard instances of *this* crawl only;
         repeated ``crawl()`` calls start from an empty list.
         """
+        return list(self.icrawl(sites, keep_incomplete=keep_incomplete,
+                                concurrency=concurrency))
+
+    # ------------------------------------------------------------------
+    def icrawl(self, sites: Optional[Sequence[SiteSpec]] = None,
+               keep_incomplete: bool = False,
+               concurrency: Optional[int] = None,
+               on_visit: Optional[Callable[[int, Optional[VisitLog]], None]]
+               = None) -> Iterator[VisitLog]:
+        """Stream retained logs in site order while visits overlap.
+
+        The cooperative engine drives up to ``concurrency`` visit
+        coroutines at once and emits each finished log as soon as every
+        earlier site's log is out, so shard files can be written
+        incrementally in rank order.  ``on_visit(index, log)`` — if
+        given — fires per completed visit in completion order (progress
+        hooks; ``log`` is None for failed crawls).
+        """
         if sites is None:
             sites = self.population.sites
+        if concurrency is None:
+            concurrency = self.config.concurrency
         self.guards = []
-        logs: List[VisitLog] = []
-        for site in sites:
-            log = self.visit_site(site)
+        engine = VisitEngine(concurrency, on_complete=on_visit)
+        jobs = [(lambda s=site: self.visit_steps(s)) for site in sites]
+        for log in engine.run_ordered(jobs):
             if log is None:
                 continue
             if keep_incomplete or log.complete:
-                logs.append(log)
-        return logs
+                yield log
 
     # ------------------------------------------------------------------
     def visit_site(self, site: SiteSpec) -> Optional[VisitLog]:
-        """Visit one site; None when the crawl fails (timeout/bot wall)."""
+        """Visit one site; None when the crawl fails (timeout/bot wall).
+
+        The single-visit schedule: :meth:`visit_steps` run straight
+        through, every wait-point resuming immediately.
+        """
+        return drive(self.visit_steps(site))
+
+    # ------------------------------------------------------------------
+    def visit_steps(self, site: SiteSpec):
+        """One visit as a resumable coroutine yielding wait-points.
+
+        Every simulated idle moment — the navigation round-trip, the
+        parser hand-off before scripts run, the timing-model delays
+        between interactions — is a ``yield WaitPoint(...)`` at which
+        the engine may switch to another in-flight visit.  All visit
+        state (browser, jar, page clock, rng) is local to this
+        generator, which is what makes any interleaving safe.
+        """
         if site.crawl_fails:
             return None
         rng = np.random.default_rng([self.config.seed, site.rank])
@@ -110,12 +163,14 @@ class Crawler:
         browser.install(instrumentation)
 
         scripts = self._build_scripts(site, rng)
+        yield WaitPoint(0.0, "navigation round-trip")
         page = browser.visit(site.url, scripts=scripts, run=False)
         _build_markup(page)
+        yield WaitPoint(0.0, "parser hand-off")
         page.run_scripts()
 
         if self.config.interact:
-            self._interact(page, site, rng)
+            yield from self._interact_steps(page, site, rng)
 
         log = instrumentation.log_for(page)
         self._finalize_log(log, page, site)
@@ -193,14 +248,22 @@ class Crawler:
         return scripts
 
     # ------------------------------------------------------------------
-    def _interact(self, page, site: SiteSpec, rng) -> None:
-        """Scroll and click up to three links, two seconds apart (§4.2)."""
-        page.clock.advance(2.0)  # scroll settle
+    def _interact_steps(self, page, site: SiteSpec, rng):
+        """Scroll and click up to three links, two seconds apart (§4.2).
+
+        Each two-second pause is a wait-point *and* a page-clock
+        advance: the engine may run other visits during the wait, while
+        this page's own virtual clock (hence every logged timestamp)
+        advances exactly as in the serial crawl.
+        """
+        yield WaitPoint(2.0, "scroll settle")
+        page.clock.advance(2.0)
         clicks = min(self.config.max_clicks, site.n_links)
         trackers = [s for s in page.scripts
                     if s.url is not None and s.behavior is not None
                     and s.is_third_party_on(site.domain)]
         for _ in range(clicks):
+            yield WaitPoint(2.0, "click delay")
             page.clock.advance(2.0)
             if trackers:
                 pick = trackers[int(rng.integers(0, len(trackers)))]

@@ -16,6 +16,10 @@ This module exploits that:
 * :meth:`ParallelCrawler.crawl_to_dir` streams each shard's logs to its
   own file (see :mod:`repro.crawler.storage`), so a full-scale crawl is
   bounded by shard size, not crawl size, in memory.
+* Inside each worker, the cooperative visit engine
+  (:mod:`repro.crawler.engine`) can overlap ``concurrency`` in-flight
+  visits per shard; the two axes compose (``jobs`` × ``concurrency``)
+  without changing a single output byte.
 
 Workers receive the population once (pool initializer) and re-derive a
 per-shard :class:`CrawlConfig` via :func:`derive_shard_config`; the seed
@@ -25,9 +29,11 @@ is never varied per shard, only the shard labels are attached.
 from __future__ import annotations
 
 import multiprocessing
+import sys
+import time
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..ecosystem.population import Population
 from ..ecosystem.site import SiteSpec
@@ -35,7 +41,8 @@ from .crawler import CrawlConfig, Crawler
 from .logs import VisitLog
 from .storage import ShardManifest, save_shard, shard_filename
 
-__all__ = ["Shard", "ShardPlan", "ParallelCrawler", "derive_shard_config"]
+__all__ = ["Shard", "ShardPlan", "ParallelCrawler", "derive_shard_config",
+           "CrawlProgress", "print_progress"]
 
 
 # ---------------------------------------------------------------------------
@@ -122,6 +129,35 @@ def derive_shard_config(config: CrawlConfig, shard: Shard) -> CrawlConfig:
 
 
 # ---------------------------------------------------------------------------
+# Progress reporting
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CrawlProgress:
+    """One completed visit batch (= one shard) of a parallel crawl.
+
+    Reporting only — arrival order depends on worker timing, so nothing
+    downstream may consume these for anything but display.
+    """
+
+    shard_index: int
+    n_shards: int
+    shard_visits: int     # retained logs in this shard
+    done_shards: int      # shards completed so far (including this one)
+    total_visits: int     # retained logs across completed shards
+    elapsed: float        # seconds since the crawl started
+
+
+def print_progress(event: CrawlProgress) -> None:
+    """A ready-made ``progress`` callback: one stderr line per batch."""
+    print(f"[crawl] shard {event.shard_index} done: "
+          f"{event.shard_visits} visits "
+          f"({event.done_shards}/{event.n_shards} shards, "
+          f"{event.total_visits} visits, {event.elapsed:.1f}s)",
+          file=sys.stderr, flush=True)
+
+
+# ---------------------------------------------------------------------------
 # Worker-process plumbing
 # ---------------------------------------------------------------------------
 
@@ -141,23 +177,29 @@ def _shard_sites(shard: Shard) -> List[SiteSpec]:
     return [by_rank[rank] for rank in shard.ranks]
 
 
-def _crawl_shard(args) -> Tuple[int, List[VisitLog]]:
+def _crawl_shard(args) -> Tuple[int, int, List[VisitLog]]:
     """Crawl one shard and return its logs (pickled back to the parent)."""
     shard, keep_incomplete = args
     config = derive_shard_config(_WORKER["config"], shard)
     crawler = Crawler(_WORKER["population"], config)
     logs = crawler.crawl(_shard_sites(shard), keep_incomplete=keep_incomplete)
-    return shard.index, logs
+    return shard.index, len(logs), logs
 
 
-def _crawl_shard_to_file(args) -> Tuple[int, str, int]:
-    """Crawl one shard and stream it straight to its shard file."""
+def _crawl_shard_to_file(args) -> Tuple[int, int, str]:
+    """Crawl one shard, streaming logs to its shard file as visits finish.
+
+    ``Crawler.icrawl`` emits logs in rank order even while the engine
+    overlaps visits, so the shard file is written incrementally — peak
+    memory is the in-flight visits, not the whole shard.
+    """
     shard, keep_incomplete, directory, compress = args
     config = derive_shard_config(_WORKER["config"], shard)
     crawler = Crawler(_WORKER["population"], config)
-    logs = crawler.crawl(_shard_sites(shard), keep_incomplete=keep_incomplete)
-    count = save_shard(logs, directory, shard.index, compress=compress)
-    return shard.index, shard_filename(shard.index, compress), count
+    stream = crawler.icrawl(_shard_sites(shard),
+                            keep_incomplete=keep_incomplete)
+    count = save_shard(stream, directory, shard.index, compress=compress)
+    return shard.index, count, shard_filename(shard.index, compress)
 
 
 # ---------------------------------------------------------------------------
@@ -172,6 +214,12 @@ class ParallelCrawler:
     process, and ``"auto"`` (default) uses a pool only when ``jobs > 1``.
     Results are merged in rank order, so the executor choice never
     changes the output.
+
+    ``concurrency`` (when given) overrides the config's in-flight visit
+    count per worker — the cooperative engine overlaps that many visits
+    inside each shard (:mod:`repro.crawler.engine`).  ``progress`` is an
+    optional callback receiving a :class:`CrawlProgress` per completed
+    shard batch (off by default; see :func:`print_progress`).
     """
 
     def __init__(self, population: Population,
@@ -179,17 +227,25 @@ class ParallelCrawler:
                  jobs: int = 1,
                  executor: str = "auto",
                  strategy: str = "contiguous",
-                 mp_context: Optional[str] = None):
+                 mp_context: Optional[str] = None,
+                 concurrency: Optional[int] = None,
+                 progress: Optional[Callable[[CrawlProgress], None]] = None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if executor not in ("auto", "serial", "process"):
             raise ValueError(f"unknown executor {executor!r}")
         self.population = population
         self.config = config or CrawlConfig()
+        if concurrency is not None:
+            if concurrency < 1:
+                raise ValueError(
+                    f"concurrency must be >= 1, got {concurrency}")
+            self.config = replace(self.config, concurrency=concurrency)
         self.jobs = jobs
         self.executor = executor
         self.strategy = strategy
         self.mp_context = mp_context
+        self.progress = progress
 
     # ------------------------------------------------------------------
     def plan(self, sites: Optional[Sequence[SiteSpec]] = None,
@@ -209,7 +265,7 @@ class ParallelCrawler:
         tasks = [(shard, keep_incomplete) for shard in plan]
         results = self._run(_crawl_shard, tasks)
         logs: List[VisitLog] = []
-        for _index, shard_logs in sorted(results, key=lambda r: r[0]):
+        for _index, _count, shard_logs in sorted(results, key=lambda r: r[0]):
             logs.extend(shard_logs)
         logs.sort(key=lambda log: log.rank)
         return logs
@@ -235,27 +291,52 @@ class ParallelCrawler:
                          key=lambda r: r[0])
         manifest = ShardManifest(
             n_shards=plan.n_shards,
-            total=sum(count for _i, _f, count in results),
+            total=sum(count for _i, count, _f in results),
             compress=compress,
-            files=tuple(name for _i, name, _c in results),
-            counts=tuple(count for _i, _f, count in results),
+            files=tuple(name for _i, _c, name in results),
+            counts=tuple(count for _i, count, _f in results),
         )
         manifest.save(directory)
         return manifest
 
     # ------------------------------------------------------------------
     def _run(self, task, args_list: List) -> List:
+        """Execute shard tasks; returns their ``(index, count, ...)`` tuples.
+
+        Results arrive (and ``progress`` fires) in completion order —
+        callers sort by shard index, so the backend never changes the
+        output, only the reporting cadence.
+        """
         use_pool = (self.executor == "process"
                     or (self.executor == "auto"
                         and self.jobs > 1 and len(args_list) > 1))
+        started = time.monotonic()
+        results: List = []
+
+        def collect(result) -> None:
+            results.append(result)
+            if self.progress is not None:
+                self.progress(CrawlProgress(
+                    shard_index=result[0],
+                    n_shards=len(args_list),
+                    shard_visits=result[1],
+                    done_shards=len(results),
+                    total_visits=sum(r[1] for r in results),
+                    elapsed=time.monotonic() - started,
+                ))
+
         if not use_pool:
             _init_worker(self.population, self.config)
             try:
-                return [task(args) for args in args_list]
+                for args in args_list:
+                    collect(task(args))
+                return results
             finally:
                 _WORKER.clear()
         context = multiprocessing.get_context(self.mp_context)
         processes = min(self.jobs, len(args_list))
         with context.Pool(processes=processes, initializer=_init_worker,
                           initargs=(self.population, self.config)) as pool:
-            return pool.map(task, args_list)
+            for result in pool.imap_unordered(task, args_list):
+                collect(result)
+        return results

@@ -1,0 +1,147 @@
+"""Edge cases of the shared CLI flag parser (``repro.cliutil``).
+
+Every consumer (``python -m repro``, the example/benchmark scripts, and
+``scripts/full_scale_run.py``) funnels through these four functions, so
+the conventions — last-occurrence-wins repeats, ``--`` passthrough,
+minimum validation for ``--jobs``/``--concurrency`` — are locked in
+here once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cliutil import (
+    pop_flag,
+    pop_int_flag,
+    pop_switch,
+    reject_unknown_flags,
+)
+
+
+class TestPopFlag:
+    def test_space_and_equals_forms(self):
+        args = ["--jobs", "4", "rest"]
+        assert pop_flag(args, "--jobs") == "4"
+        assert args == ["rest"]
+        args = ["--jobs=7", "rest"]
+        assert pop_flag(args, "--jobs") == "7"
+        assert args == ["rest"]
+
+    def test_missing_flag_returns_none(self):
+        args = ["100", "out.jsonl"]
+        assert pop_flag(args, "--jobs") is None
+        assert args == ["100", "out.jsonl"]
+
+    def test_repeated_flag_last_wins(self):
+        args = ["--jobs", "2", "100", "--jobs=8"]
+        assert pop_flag(args, "--jobs") == "8"
+        assert args == ["100"]
+
+    def test_repeated_mixed_forms_last_wins(self):
+        args = ["--jobs=3", "--jobs", "5"]
+        assert pop_flag(args, "--jobs") == "5"
+        assert args == []
+
+    def test_missing_value_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            pop_flag(["--jobs"], "--jobs")
+        assert exc.value.code == 2
+
+    def test_value_cannot_be_the_passthrough_marker(self):
+        with pytest.raises(SystemExit) as exc:
+            pop_flag(["--jobs", "--", "positional"], "--jobs")
+        assert exc.value.code == 2
+
+    def test_flag_after_double_dash_is_positional(self):
+        args = ["--jobs", "2", "--", "--jobs", "9"]
+        assert pop_flag(args, "--jobs") == "2"
+        assert args == ["--", "--jobs", "9"]
+
+
+class TestPopIntFlag:
+    def test_default_when_absent(self):
+        assert pop_int_flag([], "--jobs", 1, minimum=1) == 1
+
+    def test_parses_value(self):
+        args = ["--concurrency", "16"]
+        assert pop_int_flag(args, "--concurrency", 1, minimum=1) == 16
+        assert args == []
+
+    def test_non_integer_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            pop_int_flag(["--concurrency", "many"], "--concurrency", 1)
+        assert exc.value.code == 2
+
+    def test_zero_below_minimum_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            pop_int_flag(["--jobs", "0"], "--jobs", 1, minimum=1)
+        assert exc.value.code == 2
+
+    def test_negative_below_minimum_exits_2(self):
+        for flag, raw in (("--jobs", "-2"), ("--concurrency", "-64")):
+            with pytest.raises(SystemExit) as exc:
+                pop_int_flag([flag, raw], flag, 1, minimum=1)
+            assert exc.value.code == 2
+
+    def test_negative_allowed_without_minimum(self):
+        assert pop_int_flag(["--offset", "-5"], "--offset", 0) == -5
+
+    def test_repeated_validates_the_winning_value(self):
+        args = ["--concurrency", "0", "--concurrency", "4"]
+        assert pop_int_flag(args, "--concurrency", 1, minimum=1) == 4
+
+
+class TestPopSwitch:
+    def test_present_and_absent(self):
+        args = ["--gzip", "100"]
+        assert pop_switch(args, "--gzip") is True
+        assert args == ["100"]
+        assert pop_switch(args, "--gzip") is False
+
+    def test_repeated_switch_fully_consumed(self):
+        args = ["--progress", "100", "--progress"]
+        assert pop_switch(args, "--progress") is True
+        assert args == ["100"]
+
+    def test_switch_after_double_dash_is_positional(self):
+        args = ["--", "--gzip"]
+        assert pop_switch(args, "--gzip") is False
+        assert args == ["--", "--gzip"]
+
+
+class TestRejectUnknownFlags:
+    def test_clean_args_pass(self):
+        args = ["100", "out.jsonl"]
+        reject_unknown_flags(args)
+        assert args == ["100", "out.jsonl"]
+
+    def test_unknown_flag_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            reject_unknown_flags(["--typo", "100"])
+        assert exc.value.code == 2
+
+    def test_double_dash_passthrough(self):
+        # ``crawl -- -1``: the -1 is positional, not a flag typo.
+        args = ["--", "-1", "--not-a-flag"]
+        reject_unknown_flags(args)
+        assert args == ["-1", "--not-a-flag"]
+
+    def test_flags_before_marker_still_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            reject_unknown_flags(["--typo", "--", "-1"])
+        assert exc.value.code == 2
+
+
+class TestEndToEndParse:
+    def test_crawl_style_parse(self):
+        """The exact sequence ``_run_crawl`` performs."""
+        args = ["--jobs", "2", "--concurrency=16", "--gzip", "120",
+                "--progress", "--", "out dir"]
+        assert pop_int_flag(args, "--jobs", 1, minimum=1) == 2
+        assert pop_int_flag(args, "--concurrency", 1, minimum=1) == 16
+        assert pop_int_flag(args, "--shards", 0, minimum=1) == 0
+        assert pop_switch(args, "--gzip") is True
+        assert pop_switch(args, "--progress") is True
+        reject_unknown_flags(args)
+        assert args == ["120", "out dir"]

@@ -19,12 +19,14 @@ import pytest
 from repro.analysis import Study, StudyAccumulator
 from repro.crawler import (
     CrawlConfig,
+    CrawlProgress,
     Crawler,
     ParallelCrawler,
     ShardPlan,
     derive_shard_config,
 )
 from repro.crawler.crawler import _stable_token
+from repro.crawler.parallel import print_progress
 
 
 def _stream(logs):
@@ -168,6 +170,59 @@ class TestStudyMerge:
         shard = list(crawl_logs)[:5]
         with pytest.raises(ValueError, match="overlapping"):
             Study.from_shards([shard, shard])
+
+
+# ---------------------------------------------------------------------------
+# Per-shard progress reporting (off by default)
+# ---------------------------------------------------------------------------
+
+class TestProgressReporting:
+    def test_off_by_default(self, population):
+        crawler = ParallelCrawler(population, CrawlConfig(seed=2025))
+        assert crawler.progress is None
+
+    def test_one_event_per_shard_batch(self, population):
+        sites = population.sites[:24]
+        events = []
+        crawler = ParallelCrawler(population, CrawlConfig(seed=2025),
+                                  jobs=1, progress=events.append)
+        logs = crawler.crawl(sites, n_shards=3)
+        assert len(events) == 3
+        assert sorted(e.shard_index for e in events) == [0, 1, 2]
+        assert all(isinstance(e, CrawlProgress) for e in events)
+        assert all(e.n_shards == 3 for e in events)
+        assert events[-1].done_shards == 3
+        assert events[-1].total_visits == len(logs)
+        assert sum(e.shard_visits for e in events) == len(logs)
+        assert all(e.elapsed >= 0.0 for e in events)
+
+    def test_callback_never_changes_the_output(self, population):
+        sites = population.sites[:24]
+        quiet = ParallelCrawler(population, CrawlConfig(seed=2025))
+        noisy = ParallelCrawler(population, CrawlConfig(seed=2025),
+                                jobs=1, concurrency=4,
+                                progress=lambda event: None)
+        assert _stream(noisy.crawl(sites, n_shards=3)) == \
+            _stream(quiet.crawl(sites, n_shards=3))
+
+    def test_print_progress_writes_one_line(self, capsys):
+        print_progress(CrawlProgress(shard_index=1, n_shards=4,
+                                     shard_visits=17, done_shards=2,
+                                     total_visits=33, elapsed=1.25))
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "shard 1" in err and "2/4" in err and "33 visits" in err
+
+    @pytest.mark.slow
+    def test_progress_fires_across_process_pool(self, population):
+        sites = population.sites[:24]
+        events = []
+        crawler = ParallelCrawler(population, CrawlConfig(seed=2025),
+                                  jobs=2, executor="process",
+                                  progress=events.append)
+        logs = crawler.crawl(sites, n_shards=2)
+        assert sorted(e.shard_index for e in events) == [0, 1]
+        assert sum(e.shard_visits for e in events) == len(logs)
 
 
 # ---------------------------------------------------------------------------
