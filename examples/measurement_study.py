@@ -7,12 +7,17 @@ paper's numbers.
 
 Run:  python examples/measurement_study.py [n_sites] [--jobs J]
                                            [--concurrency C]
+                                           [--cache-dir D] [--backend B]
       (default 2000; the paper's scale is 20000.  --jobs fans the
       crawl over J worker processes, --concurrency overlaps C
-      in-flight visits per worker — both with bit-identical results)
+      in-flight visits per worker — both with bit-identical results.
+      --cache-dir runs the crawl through the distributed coordinator's
+      shard cache, so re-running the analysis over the same population
+      performs zero visits)
 """
 
 import sys
+import tempfile
 import time
 
 from repro.analysis import Study
@@ -22,8 +27,10 @@ from repro.analysis.reports import (
     render_table2,
     render_table5,
 )
-from repro.cliutil import pop_int_flag, reject_unknown_flags
-from repro.crawler import CrawlConfig, ParallelCrawler
+from repro.cliutil import (pop_choice_flag, pop_flag, pop_int_flag,
+                           reject_unknown_flags)
+from repro.crawler import (CrawlConfig, Coordinator, ParallelCrawler,
+                           ShardStore, load_logs, make_backend)
 from repro.ecosystem import PopulationConfig, generate_population
 
 
@@ -31,6 +38,9 @@ def main():
     args = sys.argv[1:]
     jobs = pop_int_flag(args, "--jobs", 1, minimum=1)
     concurrency = pop_int_flag(args, "--concurrency", 1, minimum=1)
+    cache_dir = pop_flag(args, "--cache-dir")
+    backend_name = pop_choice_flag(args, "--backend",
+                                   ["inprocess", "pool", "subprocess"])
     reject_unknown_flags(args)
     n_sites = int(args[0]) if args else 2000
     print(f"Generating a {n_sites}-site population (seed 2025)...")
@@ -39,9 +49,23 @@ def main():
     print(f"Crawling (scroll + up to 3 link clicks per site, "
           f"jobs={jobs}, concurrency={concurrency})...")
     start = time.time()
-    logs = ParallelCrawler(population,
-                           CrawlConfig(seed=2025, concurrency=concurrency),
-                           jobs=jobs).crawl()
+    config = CrawlConfig(seed=2025, concurrency=concurrency)
+    if cache_dir is not None or backend_name is not None:
+        backend = make_backend(backend_name or "pool", jobs=jobs)
+        store = ShardStore(cache_dir) if cache_dir else None
+        coordinator = Coordinator(population, config, backend=backend,
+                                  store=store)
+        # n_shards stays jobs-independent: shard ranks key the cache,
+        # so a --jobs change must keep hitting a warm store.
+        with tempfile.TemporaryDirectory(prefix="measurement-crawl-") \
+                as crawl_dir:
+            report = coordinator.run(crawl_dir, n_shards=2)
+            logs = load_logs(crawl_dir)
+        print(f"(coordinator: executed={report.executed_shards} shards, "
+              f"cached={report.cached_shards}, "
+              f"visits executed={report.visits_executed})")
+    else:
+        logs = ParallelCrawler(population, config, jobs=jobs).crawl()
     print(f"Retained {len(logs)}/{n_sites} sites with complete data "
           f"(paper: 14,917/20,000) in {time.time() - start:.0f}s\n")
 

@@ -4,7 +4,8 @@
 Writes all measured numbers to results_full_scale.txt for EXPERIMENTS.md.
 
 Usage: full_scale_run.py [N] [OUT] [--jobs J] [--concurrency C]
-                         [--shards S]
+                         [--shards S] [--backend B] [--cache-dir D]
+                         [--crawl-dir W] [--max-retries R]
 
 ``--jobs`` fans the crawl over J worker processes and ``--concurrency``
 overlaps C in-flight visits inside each worker via the cooperative
@@ -12,6 +13,13 @@ visit engine (both bit-identical to the serial crawl); ``--shards``
 additionally aggregates the study shard by shard through
 ``Study.from_shards`` — all paths produce identical tables by
 construction.
+
+``--cache-dir``/``--backend`` route the crawl through the distributed
+coordinator (``repro.crawler.distributed``): shard files are written
+under ``--crawl-dir`` (default ``full-scale-crawl``) with a durable
+work-queue and per-shard digests, and a re-run over the same population
+and crawl config reuses every cached shard without executing a single
+visit — repeated analysis passes become essentially free.
 """
 
 import sys
@@ -24,8 +32,10 @@ from repro.analysis.reports import (
     render_table2,
     render_table5,
 )
-from repro.cliutil import pop_int_flag, reject_unknown_flags
-from repro.crawler import CrawlConfig, ParallelCrawler, ShardPlan
+from repro.cliutil import pop_choice_flag, pop_flag, pop_int_flag, \
+    reject_unknown_flags
+from repro.crawler import (CrawlConfig, Coordinator, ParallelCrawler,
+                           ShardPlan, ShardStore, load_logs, make_backend)
 from repro.ecosystem import PopulationConfig, generate_population
 from repro.evaluation import (
     evaluate_access_control,
@@ -38,9 +48,15 @@ _ARGS = sys.argv[1:]
 JOBS = pop_int_flag(_ARGS, "--jobs", 1, minimum=1)
 CONCURRENCY = pop_int_flag(_ARGS, "--concurrency", 1, minimum=1)
 SHARDS = pop_int_flag(_ARGS, "--shards", 0, minimum=1)
+BACKEND = pop_choice_flag(_ARGS, "--backend",
+                          ["inprocess", "pool", "subprocess"])
+CACHE_DIR = pop_flag(_ARGS, "--cache-dir")
+CRAWL_DIR = pop_flag(_ARGS, "--crawl-dir") or "full-scale-crawl"
+MAX_RETRIES = pop_int_flag(_ARGS, "--max-retries", 2, minimum=0)
 reject_unknown_flags(_ARGS)
 N = int(_ARGS[0]) if _ARGS else 20_000
 OUT = _ARGS[1] if len(_ARGS) > 1 else "results_full_scale.txt"
+DISTRIBUTED = BACKEND is not None or CACHE_DIR is not None
 
 
 def main():
@@ -55,12 +71,28 @@ def main():
     emit(f"population: {N} sites ({time.time()-t0:.0f}s)")
 
     t0 = time.time()
-    crawler = ParallelCrawler(
-        population, CrawlConfig(seed=2025, concurrency=CONCURRENCY),
-        jobs=JOBS)
-    logs = crawler.crawl()
-    emit(f"crawl: retained {len(logs)}/{N} sites ({time.time()-t0:.0f}s, "
-         f"jobs={JOBS}, concurrency={CONCURRENCY}) [paper: 14,917/20,000]")
+    config = CrawlConfig(seed=2025, concurrency=CONCURRENCY)
+    if DISTRIBUTED:
+        backend = make_backend(BACKEND or "pool", jobs=JOBS)
+        store = ShardStore(CACHE_DIR) if CACHE_DIR else None
+        coordinator = Coordinator(population, config, backend=backend,
+                                  max_retries=MAX_RETRIES, store=store)
+        report = coordinator.run(CRAWL_DIR,
+                                 n_shards=SHARDS if SHARDS > 0 else None)
+        logs = load_logs(CRAWL_DIR)
+        emit(f"crawl: retained {len(logs)}/{N} sites ({time.time()-t0:.0f}s, "
+             f"backend={backend.name}, jobs={JOBS}, "
+             f"concurrency={CONCURRENCY}, "
+             f"executed={report.executed_shards}, "
+             f"cached={report.cached_shards}, "
+             f"visits executed={report.visits_executed}) "
+             f"[paper: 14,917/20,000]")
+    else:
+        crawler = ParallelCrawler(population, config, jobs=JOBS)
+        logs = crawler.crawl()
+        emit(f"crawl: retained {len(logs)}/{N} sites ({time.time()-t0:.0f}s, "
+             f"jobs={JOBS}, concurrency={CONCURRENCY}) "
+             f"[paper: 14,917/20,000]")
 
     t0 = time.time()
     if SHARDS > 0:

@@ -7,10 +7,17 @@ study [N] [--jobs J]
 evaluate [N]
     run the §7 CookieGuard evaluation (default 1000 sites)
 crawl [N] [OUT] [--jobs J] [--concurrency C] [--shards S] [--gzip]
-      [--progress]
+      [--progress] [--backend B] [--cache-dir D] [--max-retries R]
     crawl and save raw visit logs.  OUT is a single ``.jsonl[.gz]``
     file by default; with ``--shards`` it is a directory holding
-    ``shard-NNNN.jsonl[.gz]`` files plus a ``manifest.json``
+    ``shard-NNNN.jsonl[.gz]`` files plus a ``manifest.json``.  With
+    ``--backend``/``--cache-dir`` the crawl runs through the
+    distributed coordinator (durable queue.jsonl, idempotent shard
+    retry, content-addressed shard cache)
+crawl-shard SPEC INDEX
+    worker entrypoint for the distributed coordinator: execute shard
+    INDEX of a ``workspec.json``, write its shard file next to the
+    spec, and print one JSON result line (file/count/sha256) on stdout
 full [N] [OUT] [--jobs J] [--concurrency C] [--shards S]
     the complete paper reproduction in one shot
 
@@ -28,6 +35,20 @@ Options
 --gzip           gzip shard files (single-file output is gzipped when
                  OUT ends in ``.gz``).
 --progress       print one stderr line per completed shard batch.
+--backend B      run the crawl through the distributed coordinator on
+                 backend B: ``inprocess`` (this process), ``pool``
+                 (local worker processes), or ``subprocess`` (each
+                 shard execs ``python -m repro crawl-shard``, the
+                 cross-machine worker protocol).  Implies a sharded
+                 OUT directory; the result is bit-identical to the
+                 serial pipeline for every backend.
+--cache-dir D    content-addressed shard cache: shards already crawled
+                 for the same population/config/ranks are reused
+                 without executing a single visit, and new shards are
+                 stored for the next run.  Implies the coordinator.
+--max-retries R  retry a failed/lost shard up to R times (default 2)
+                 before giving up; retried bytes must match any
+                 previously recorded digest.
 
 A lone ``--`` ends option parsing; later arguments are positional.
 """
@@ -37,7 +58,8 @@ from __future__ import annotations
 import sys
 from typing import List
 
-from .cliutil import pop_int_flag, pop_switch, reject_unknown_flags
+from .cliutil import (pop_choice_flag, pop_flag, pop_int_flag, pop_switch,
+                      reject_unknown_flags)
 
 
 def _usage() -> None:
@@ -51,9 +73,17 @@ def _run_crawl(args: List[str]) -> None:
     shards = pop_int_flag(args, "--shards", 0, minimum=1) or None
     compress = pop_switch(args, "--gzip")
     show_progress = pop_switch(args, "--progress")
+    backend_name = pop_choice_flag(args, "--backend",
+                                   ["inprocess", "pool", "subprocess"])
+    cache_dir = pop_flag(args, "--cache-dir")
+    max_retries = pop_int_flag(args, "--max-retries", 2, minimum=0)
     reject_unknown_flags(args)
     n_sites = int(args[0]) if args else 2000
-    default_out = "crawl" if shards else "crawl.jsonl.gz"
+    distributed = backend_name is not None or cache_dir is not None
+    # The shard count is deliberately NOT derived from --jobs: shard
+    # ranks are part of the cache key, so a jobs change must not change
+    # the plan (the coordinator's own default is population-sized).
+    default_out = "crawl" if (shards or distributed) else "crawl.jsonl.gz"
     out = args[1] if len(args) > 1 else default_out
     if compress and not shards and not str(out).endswith(".gz"):
         out = f"{out}.gz"
@@ -63,9 +93,28 @@ def _run_crawl(args: List[str]) -> None:
     from .ecosystem import PopulationConfig, generate_population
     population = generate_population(PopulationConfig(n_sites=n_sites,
                                                       seed=2025))
-    crawler = ParallelCrawler(
-        population, CrawlConfig(seed=2025, concurrency=concurrency),
-        jobs=jobs, progress=print_progress if show_progress else None)
+    config = CrawlConfig(seed=2025, concurrency=concurrency)
+    progress = print_progress if show_progress else None
+    if distributed:
+        from .crawler import Coordinator, ShardStore, make_backend
+        backend = make_backend(backend_name or "inprocess", jobs=jobs)
+        store = ShardStore(cache_dir) if cache_dir else None
+        coordinator = Coordinator(population, config, backend=backend,
+                                  max_retries=max_retries, store=store,
+                                  compress=compress, progress=progress)
+        report = coordinator.run(out, n_shards=shards)
+        print(f"saved {report.manifest.total} visit logs to {out}/ "
+              f"({report.manifest.n_shards} shards, "
+              f"backend={backend.name}, jobs={jobs}, "
+              f"concurrency={concurrency}, "
+              f"executed={report.executed_shards}, "
+              f"cached={report.cached_shards}, "
+              f"reused={report.reused_shards}, "
+              f"visits executed={report.visits_executed}, "
+              f"retries={report.retries})")
+        return
+    crawler = ParallelCrawler(population, config, jobs=jobs,
+                              progress=progress)
     if shards:
         manifest = crawler.crawl_to_dir(out, n_shards=shards,
                                         compress=compress)
@@ -77,6 +126,24 @@ def _run_crawl(args: List[str]) -> None:
         written = save_logs(logs, out)
         print(f"saved {written} visit logs to {out} "
               f"(jobs={jobs}, concurrency={concurrency})")
+
+
+def _run_crawl_shard(args: List[str]) -> None:
+    """Distributed worker: one shard of a workspec, result JSON on stdout."""
+    import json
+
+    reject_unknown_flags(args)
+    if len(args) != 2:
+        print("crawl-shard needs exactly: SPEC_PATH SHARD_INDEX")
+        raise SystemExit(2)
+    try:
+        index = int(args[1])
+    except ValueError:
+        print(f"crawl-shard INDEX expects an integer, got {args[1]!r}")
+        raise SystemExit(2)
+    from .crawler import run_shard_worker
+    result = run_shard_worker(args[0], index)
+    print(json.dumps(result, sort_keys=True))
 
 
 def main(argv=None) -> None:
@@ -91,6 +158,8 @@ def main(argv=None) -> None:
         _run_example("cookieguard_evaluation", args)
     elif command == "crawl":
         _run_crawl(args)
+    elif command == "crawl-shard":
+        _run_crawl_shard(args)
     elif command == "full":
         from pathlib import Path
         script = Path(__file__).resolve().parents[2] / "scripts" / "full_scale_run.py"

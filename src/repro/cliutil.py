@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-__all__ = ["pop_flag", "pop_int_flag", "pop_switch", "reject_unknown_flags"]
+__all__ = ["pop_choice_flag", "pop_flag", "pop_int_flag", "pop_switch",
+           "reject_unknown_flags"]
 
 
 def _flag_region(args: List[str]) -> int:
@@ -69,6 +70,22 @@ def pop_int_flag(args: List[str], name: str, default: int,
         print(f"{name} must be >= {minimum}, got {value}")
         raise SystemExit(2)
     return value
+
+
+def pop_choice_flag(args: List[str], name: str, choices: List[str],
+                    default: Optional[str] = None) -> Optional[str]:
+    """Extract ``--name VALUE`` restricted to ``choices`` (exit 2 otherwise).
+
+    Returns ``default`` when the flag is absent; the default itself is
+    not validated, so ``None`` can mean "flag not given".
+    """
+    raw = pop_flag(args, name)
+    if raw is None:
+        return default
+    if raw not in choices:
+        print(f"{name} must be one of {', '.join(choices)}; got {raw!r}")
+        raise SystemExit(2)
+    return raw
 
 
 def pop_switch(args: List[str], name: str) -> bool:

@@ -20,6 +20,7 @@ in-flight visits per worker; the serial API (:meth:`Crawler.visit_site`,
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple)
@@ -41,7 +42,8 @@ from ..net.http import Request, Response, ResourceType
 from ..records import DomMutationEvent, ScriptRecord, VisitLog
 from .engine import VisitEngine, WaitPoint, drive
 
-__all__ = ["CrawlConfig", "Crawler", "crawl_population"]
+__all__ = ["CrawlConfig", "Crawler", "config_fingerprint",
+           "crawl_population"]
 
 
 @dataclass(frozen=True)
@@ -68,6 +70,47 @@ class CrawlConfig:
     shard_index: int = 0
     shard_count: int = 1
     concurrency: int = 1
+
+
+def config_fingerprint(config: CrawlConfig) -> str:
+    """Stable SHA-256 over every output-affecting crawl switch.
+
+    This is the crawl half of the shard-cache key (see
+    :mod:`repro.crawler.distributed`): two configs with the same
+    fingerprint are promised to produce byte-identical shard files for
+    the same population and ranks.  The shard labels
+    (``shard_index``/``shard_count``) are excluded — the crawl output is
+    invariant to the shard layout by construction.  ``concurrency`` *is*
+    included even though the engine proves it never changes a byte:
+    cache correctness deliberately does not lean on that proof, so a
+    concurrency change re-crawls rather than trusting the equivalence.
+    Scheduling knobs that live outside :class:`CrawlConfig` (worker
+    count, backend choice) never enter the fingerprint.
+
+    An ``entity_of`` callable on the guard policy is recorded as a
+    presence bit only — two different callables fingerprint alike — so
+    such configs must not participate in shard caching (the coordinator
+    refuses a :class:`~repro.crawler.distributed.ShardStore` for them).
+    """
+    policy = config.guard_policy
+    policy_desc = None
+    if policy is not None:
+        policy_desc = {
+            "inline_mode": policy.inline_mode.name,
+            "owner_full_access": bool(policy.owner_full_access),
+            "entity_whitelist": policy.entity_of is not None,
+        }
+    payload = {
+        "seed": config.seed,
+        "interact": config.interact,
+        "max_clicks": config.max_clicks,
+        "install_guard": config.install_guard,
+        "guard_policy": policy_desc,
+        "guard_uncloak_dns": config.guard_uncloak_dns,
+        "concurrency": config.concurrency,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
 
 
 class Crawler:

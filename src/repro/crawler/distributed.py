@@ -1,0 +1,1079 @@
+"""Distributed crawl coordination (ROADMAP rungs 3–4).
+
+A crawl is an unordered set of idempotent shard artifacts: every visit
+is seeded ``[seed, site.rank]``, shard files are deterministic bytes
+(zeroed gzip headers), and the manifest pins each shard with a SHA-256.
+This module turns that contract into a coordinator/worker system:
+
+* :class:`WorkQueue` — a durable append-only journal (``queue.jsonl``)
+  of :class:`ShardTask` state transitions.  A crashed coordinator (or a
+  lost worker lease) is recovered by replaying the journal: tasks that
+  leased but never completed simply become pending again, and tasks
+  recorded done are re-verified against their recorded digest.
+* :class:`WorkerBackend` — pluggable shard executors.
+  :class:`InProcessBackend` runs shards in the coordinator process,
+  :class:`ProcessPoolBackend` fans them over a local multiprocessing
+  pool, and :class:`SubprocessBackend` execs
+  ``python -m repro crawl-shard <workspec.json> <index>`` per shard —
+  the worker protocol a remote machine would speak: regenerate the
+  population from the spec, crawl the shard's ranks, write the shard
+  file, print one JSON result line ``{"index", "file", "count",
+  "sha256"}`` on stdout.
+* :class:`Coordinator` — drives the queue to completion: resolves cache
+  hits, dispatches pending tasks, retries failed/lost/crashed shards up
+  to ``max_retries`` times (verifying that a retried shard's bytes hash
+  to any previously recorded digest — a divergence means the
+  determinism contract broke and is an error, never silently accepted),
+  then assembles, saves, and verifies the final
+  :class:`~repro.crawler.storage.ShardManifest`.
+* :class:`ShardStore` — a content-addressed shard cache keyed by
+  ``sha256(population fingerprint, config fingerprint, shard ranks,
+  compress)``.  Population fingerprint covers every
+  :class:`~repro.ecosystem.population.PopulationConfig` lever; config
+  fingerprint is :func:`~repro.crawler.crawler.config_fingerprint`
+  (everything output-affecting, including the cookie-guard policy and
+  ``concurrency``, *excluding* shard labels).  Worker count and backend
+  choice are pure scheduling and never enter the key, so a warm cache
+  survives any ``--jobs``/``--backend`` change while a seed or policy
+  change re-crawls.  Stale entries (bytes that no longer hash to the
+  recorded digest) are evicted and treated as a miss.
+
+Fault-injection hook: when the environment variable
+:data:`FAULT_ONCE_ENV` names a directory, a ``crawl-shard`` worker
+hard-exits (simulating a killed worker) the *first* time it runs each
+shard, leaving a marker file so the retry succeeds.  Only the test
+suite and the ``coordinator-faults`` CI job set it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
+
+from ..ecosystem.population import Population, PopulationConfig
+from .crawler import CrawlConfig, Crawler, config_fingerprint
+from .parallel import (CrawlProgress, Shard, ShardPlan, derive_shard_config,
+                       _init_worker, _WORKER)
+from .storage import (ManifestError, ShardManifest, ShardWriteResult,
+                      compute_digest, shard_filename, verify_shard_files,
+                      write_shard)
+
+__all__ = [
+    "CoordinationError",
+    "Coordinator",
+    "CrawlReport",
+    "FAULT_ONCE_ENV",
+    "InProcessBackend",
+    "ProcessPoolBackend",
+    "ShardOutcome",
+    "ShardStore",
+    "ShardTask",
+    "SubprocessBackend",
+    "WorkQueue",
+    "WorkSpec",
+    "WorkerBackend",
+    "make_backend",
+    "population_fingerprint",
+    "run_shard_worker",
+]
+
+QUEUE_NAME = "queue.jsonl"
+WORKSPEC_NAME = "workspec.json"
+QUEUE_VERSION = 1
+
+#: Test-only hook: a directory path; each shard worker crashes once.
+FAULT_ONCE_ENV = "REPRO_FAULT_ONCE_DIR"
+
+# Task states (journal values, also in-memory).
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+
+
+class CoordinationError(RuntimeError):
+    """The distributed crawl cannot make progress or broke its contract."""
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints and cache keys
+# ---------------------------------------------------------------------------
+
+def population_fingerprint(population: Union[Population,
+                                             PopulationConfig]) -> str:
+    """Stable SHA-256 over every population calibration lever.
+
+    The population is a pure function of its :class:`PopulationConfig`
+    (``generate_population`` is deterministic), so hashing the config
+    identifies the site/service ecosystem exactly.
+    """
+    config = (population.config if isinstance(population, Population)
+              else population)
+    payload = dataclasses.asdict(config)
+    blob = json.dumps(payload, sort_keys=True, default=list).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _shard_key(population_fp: str, config_fp: str, ranks: Sequence[int],
+               compress: bool) -> str:
+    payload = {
+        "population": population_fp,
+        "config": config_fp,
+        "ranks": list(ranks),
+        "compress": bool(compress),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The work spec (worker protocol input)
+# ---------------------------------------------------------------------------
+
+def _config_to_dict(config: CrawlConfig) -> Dict:
+    """JSON form of a :class:`CrawlConfig` for the worker protocol.
+
+    A ``guard_policy`` carrying an ``entity_of`` callable cannot cross a
+    process boundary; the in-process backends keep the live object, so
+    only the subprocess worker path hits this limit.
+    """
+    policy = config.guard_policy
+    policy_desc = None
+    if policy is not None:
+        if policy.entity_of is not None:
+            raise CoordinationError(
+                "guard policies with an entity_of callable are not "
+                "serializable for subprocess workers; use an in-process "
+                "backend")
+        policy_desc = {"inline_mode": policy.inline_mode.name,
+                       "owner_full_access": bool(policy.owner_full_access)}
+    return {
+        "seed": config.seed,
+        "interact": config.interact,
+        "max_clicks": config.max_clicks,
+        "install_guard": config.install_guard,
+        "guard_policy": policy_desc,
+        "guard_uncloak_dns": config.guard_uncloak_dns,
+        "concurrency": config.concurrency,
+    }
+
+
+def _config_from_dict(data: Dict) -> CrawlConfig:
+    policy = None
+    if data.get("guard_policy") is not None:
+        from ..cookieguard.policy import InlineMode, PolicyConfig
+        desc = data["guard_policy"]
+        policy = PolicyConfig(
+            inline_mode=InlineMode[desc["inline_mode"]],
+            owner_full_access=bool(desc["owner_full_access"]))
+    return CrawlConfig(
+        seed=int(data["seed"]),
+        interact=bool(data["interact"]),
+        max_clicks=int(data["max_clicks"]),
+        install_guard=bool(data["install_guard"]),
+        guard_policy=policy,
+        guard_uncloak_dns=bool(data["guard_uncloak_dns"]),
+        concurrency=int(data["concurrency"]),
+    )
+
+
+def _population_config_from_dict(data: Dict) -> PopulationConfig:
+    kwargs = {}
+    for f in dataclasses.fields(PopulationConfig):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        if isinstance(value, list):
+            value = tuple(value)
+        kwargs[f.name] = value
+    return PopulationConfig(**kwargs)
+
+
+@dataclass(frozen=True)
+class WorkSpec:
+    """Everything a (possibly remote) worker needs to execute a shard.
+
+    Serialized as ``workspec.json`` next to the queue; the worker
+    regenerates the population from the spec, so the only shared state
+    between coordinator and worker is this file and the shard output.
+    """
+
+    population: Dict          # PopulationConfig as a JSON dict
+    config: Dict              # CrawlConfig as a JSON dict
+    shards: Tuple[Tuple[int, ...], ...]   # ranks per shard index
+    compress: bool = False
+    keep_incomplete: bool = False
+
+    @classmethod
+    def build(cls, population: Population, config: CrawlConfig,
+              plan: ShardPlan, compress: bool,
+              keep_incomplete: bool) -> "WorkSpec":
+        return cls(
+            population=json.loads(json.dumps(
+                dataclasses.asdict(population.config), default=list)),
+            config=_config_to_dict(config),
+            shards=tuple(tuple(shard.ranks) for shard in plan),
+            compress=compress,
+            keep_incomplete=keep_incomplete,
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "version": QUEUE_VERSION,
+            "population": self.population,
+            "config": self.config,
+            "shards": [list(ranks) for ranks in self.shards],
+            "compress": self.compress,
+            "keep_incomplete": self.keep_incomplete,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "WorkSpec":
+        return cls(
+            population=dict(data["population"]),
+            config=dict(data["config"]),
+            shards=tuple(tuple(int(r) for r in ranks)
+                         for ranks in data["shards"]),
+            compress=bool(data["compress"]),
+            keep_incomplete=bool(data.get("keep_incomplete", False)),
+        )
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        path = Path(directory) / WORKSPEC_NAME
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n",
+                        encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "WorkSpec":
+        return cls.from_dict(json.loads(Path(path).read_text(
+            encoding="utf-8")))
+
+
+# ---------------------------------------------------------------------------
+# Tasks and the durable queue
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ShardTask:
+    """One shard's lifecycle in the work-queue."""
+
+    index: int
+    of: int
+    ranks: Tuple[int, ...]
+    state: str = PENDING
+    attempts: int = 0         # leases so far (1 = first execution)
+    file: Optional[str] = None
+    count: int = 0
+    sha256: Optional[str] = None
+    source: Optional[str] = None      # "crawl" | "cache" once done
+    error: Optional[str] = None
+    #: Digest a retry must reproduce (from a prior attempt/journal).
+    expected_sha256: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What a backend reports for one executed shard task."""
+
+    index: int
+    ok: bool
+    file: Optional[str] = None
+    count: int = 0
+    sha256: Optional[str] = None
+    error: Optional[str] = None
+
+
+class WorkQueue:
+    """Durable shard work-queue: an append-only ``queue.jsonl`` journal.
+
+    Every state transition is one JSON line, flushed immediately, so the
+    queue survives a coordinator crash at any point.  Loading replays
+    the journal; a task whose last event is a ``lease`` (worker lost
+    mid-flight) comes back as pending with its attempt count intact, and
+    a ``done`` task keeps its digest so re-verification and idempotent
+    retry are possible.
+    """
+
+    def __init__(self, path: Path, run_key: str,
+                 tasks: Dict[int, ShardTask]):
+        self.path = Path(path)
+        self.run_key = run_key
+        self.tasks = tasks
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def create(cls, path: Union[str, Path], plan: ShardPlan,
+               run_key: str) -> "WorkQueue":
+        path = Path(path)
+        tasks = {shard.index: ShardTask(index=shard.index, of=plan.n_shards,
+                                        ranks=tuple(shard.ranks))
+                 for shard in plan}
+        queue = cls(path, run_key, tasks)
+        records = [{"event": "plan", "version": QUEUE_VERSION,
+                    "run_key": run_key, "n_shards": plan.n_shards,
+                    "strategy": plan.strategy}]
+        records += [{"event": "task", "index": shard.index,
+                     "ranks": list(shard.ranks)} for shard in plan]
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return queue
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "WorkQueue":
+        path = Path(path)
+        tasks: Dict[int, ShardTask] = {}
+        run_key: Optional[str] = None
+        n_shards = 0
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            raise CoordinationError(f"unreadable queue {path}: {exc}") from exc
+        for lineno, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                event = record["event"]
+                if event == "plan":
+                    if int(record["version"]) != QUEUE_VERSION:
+                        raise CoordinationError(
+                            f"unsupported queue version {record['version']}")
+                    run_key = str(record["run_key"])
+                    n_shards = int(record["n_shards"])
+                elif event == "task":
+                    index = int(record["index"])
+                    tasks[index] = ShardTask(
+                        index=index, of=n_shards,
+                        ranks=tuple(int(r) for r in record["ranks"]))
+                elif event == "lease":
+                    task = tasks[int(record["index"])]
+                    task.state = LEASED
+                    task.attempts = int(record["attempt"])
+                    task.error = None
+                    if task.sha256:
+                        # A re-lease after a recorded completion: the
+                        # retry must reproduce those exact bytes, even
+                        # if the coordinator crashes before the outcome.
+                        task.expected_sha256 = task.sha256
+                elif event == "done":
+                    task = tasks[int(record["index"])]
+                    task.state = DONE
+                    task.file = str(record["file"])
+                    task.count = int(record["count"])
+                    task.sha256 = str(record["sha256"])
+                    task.source = str(record["source"])
+                    task.error = None
+                elif event == "fail":
+                    task = tasks[int(record["index"])]
+                    task.state = FAILED
+                    task.error = str(record.get("error") or "unknown")
+                else:
+                    raise CoordinationError(f"unknown event {event!r}")
+            except CoordinationError:
+                raise
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CoordinationError(
+                    f"corrupt queue {path} line {lineno}: {exc}") from exc
+        if run_key is None or len(tasks) != n_shards:
+            raise CoordinationError(
+                f"queue {path} is missing its plan header or tasks")
+        # A lease with no matching done/fail is a lost worker: the shard
+        # goes back to pending (idempotent re-execution is safe).
+        for task in tasks.values():
+            if task.state == LEASED:
+                task.state = PENDING
+        return cls(path, run_key, tasks)
+
+    # -- journal appends ---------------------------------------------------
+    def _append(self, record: Dict) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def lease(self, task: ShardTask, worker: str) -> None:
+        task.attempts += 1
+        task.state = LEASED
+        task.error = None
+        self._append({"event": "lease", "index": task.index,
+                      "attempt": task.attempts, "worker": worker})
+
+    def done(self, task: ShardTask, *, file: str, count: int, sha256: str,
+             source: str) -> None:
+        task.state = DONE
+        task.file = file
+        task.count = count
+        task.sha256 = sha256
+        task.source = source
+        task.error = None
+        self._append({"event": "done", "index": task.index, "file": file,
+                      "count": count, "sha256": sha256, "source": source})
+
+    def fail(self, task: ShardTask, error: str) -> None:
+        task.state = FAILED
+        task.error = error
+        self._append({"event": "fail", "index": task.index,
+                      "attempt": task.attempts, "error": error})
+
+    # -- views -------------------------------------------------------------
+    def in_order(self) -> List[ShardTask]:
+        return [self.tasks[index] for index in sorted(self.tasks)]
+
+    def unfinished(self) -> List[ShardTask]:
+        return [task for task in self.in_order() if task.state != DONE]
+
+
+# ---------------------------------------------------------------------------
+# Shard execution (shared by every backend and the CLI worker)
+# ---------------------------------------------------------------------------
+
+def _execute_shard(population: Population, config: CrawlConfig,
+                   task_ranks: Sequence[int], index: int, of: int,
+                   out_dir: Union[str, Path], compress: bool,
+                   keep_incomplete: bool,
+                   by_rank: Optional[Dict[int, object]] = None
+                   ) -> ShardWriteResult:
+    """Crawl one shard's ranks and stream them to its shard file.
+
+    ``by_rank`` lets callers that execute many shards (backends, pool
+    workers) build the rank→site map once instead of per shard.
+    """
+    shard = Shard(index=index, of=of, ranks=tuple(task_ranks))
+    shard_config = derive_shard_config(config, shard)
+    crawler = Crawler(population, shard_config)
+    if by_rank is None:
+        by_rank = {site.rank: site for site in population.sites}
+    sites = [by_rank[rank] for rank in shard.ranks]
+    stream = crawler.icrawl(sites, keep_incomplete=keep_incomplete)
+    return write_shard(stream, out_dir, index, compress=compress)
+
+
+def run_shard_worker(spec_path: Union[str, Path], index: int,
+                     out_dir: Optional[Union[str, Path]] = None) -> Dict:
+    """The ``python -m repro crawl-shard`` worker body.
+
+    Reads the :class:`WorkSpec`, regenerates the population, crawls the
+    shard, writes the shard file next to the spec (or into ``out_dir``),
+    and returns the result record the CLI prints as one JSON line.
+    """
+    spec_path = Path(spec_path)
+    spec = WorkSpec.load(spec_path)
+    if not 0 <= index < len(spec.shards):
+        raise CoordinationError(
+            f"shard index {index} out of range 0..{len(spec.shards) - 1}")
+    fault_dir = os.environ.get(FAULT_ONCE_ENV)
+    if fault_dir:
+        marker = Path(fault_dir) / f"shard-{index:04d}.tripped"
+        if not marker.exists():
+            marker.parent.mkdir(parents=True, exist_ok=True)
+            marker.touch()
+            # Simulate a killed worker: no result line, hard non-zero exit.
+            os._exit(3)
+    from ..ecosystem.population import generate_population
+    population = generate_population(
+        _population_config_from_dict(spec.population))
+    config = _config_from_dict(spec.config)
+    target = Path(out_dir) if out_dir is not None else spec_path.parent
+    written = _execute_shard(population, config, spec.shards[index], index,
+                             len(spec.shards), target, spec.compress,
+                             spec.keep_incomplete)
+    return {"index": index, "file": written.name, "count": written.count,
+            "sha256": written.sha256}
+
+
+# ---------------------------------------------------------------------------
+# Worker backends
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WorkContext:
+    """What a backend needs to execute tasks for one coordinator run."""
+
+    population: Population
+    config: CrawlConfig
+    out_dir: Path
+    compress: bool
+    keep_incomplete: bool
+    spec_path: Optional[Path] = None   # workspec.json (subprocess protocol)
+
+
+class WorkerBackend:
+    """Executes shard tasks; yields :class:`ShardOutcome`\\ s as they finish.
+
+    Backends never raise for a *task* failure — they report it in the
+    outcome so the coordinator can retry idempotently.  They may raise
+    for infrastructure failures (e.g. the pool itself dying).
+    """
+
+    name = "abstract"
+
+    def run(self, ctx: WorkContext,
+            tasks: Sequence[ShardTask]) -> Iterator[ShardOutcome]:
+        raise NotImplementedError
+
+
+class InProcessBackend(WorkerBackend):
+    """Runs every shard in the coordinator process, one at a time."""
+
+    name = "inprocess"
+
+    def run(self, ctx: WorkContext,
+            tasks: Sequence[ShardTask]) -> Iterator[ShardOutcome]:
+        by_rank = {site.rank: site for site in ctx.population.sites}
+        for task in tasks:
+            try:
+                written = _execute_shard(
+                    ctx.population, ctx.config, task.ranks, task.index,
+                    task.of, ctx.out_dir, ctx.compress, ctx.keep_incomplete,
+                    by_rank=by_rank)
+            except Exception as exc:           # noqa: BLE001 — reported
+                yield ShardOutcome(index=task.index, ok=False,
+                                   error=f"{type(exc).__name__}: {exc}")
+            else:
+                yield ShardOutcome(index=task.index, ok=True,
+                                   file=written.name, count=written.count,
+                                   sha256=written.sha256)
+
+
+def _pool_run_shard(args) -> Tuple[int, bool, str, int, str]:
+    """Pool task: crawl one shard; errors are values, not exceptions.
+
+    An exception raised inside ``imap_unordered`` aborts the whole
+    iteration in the parent, losing the other shards' outcomes — so
+    failures are returned as data and surfaced per-task.
+    """
+    index, of, ranks, directory, compress, keep_incomplete = args
+    try:
+        written = _execute_shard(_WORKER["population"], _WORKER["config"],
+                                 ranks, index, of, directory, compress,
+                                 keep_incomplete,
+                                 by_rank=_WORKER["by_rank"])
+    except Exception as exc:                   # noqa: BLE001 — reported
+        return index, False, "", 0, f"{type(exc).__name__}: {exc}"
+    return index, True, written.name, written.count, written.sha256
+
+
+class ProcessPoolBackend(WorkerBackend):
+    """Fans shard tasks over a local multiprocessing pool.
+
+    This wraps the same worker plumbing as
+    :class:`~repro.crawler.parallel.ParallelCrawler` (population shipped
+    once via the pool initializer, small task tuples per shard).
+    """
+
+    name = "pool"
+
+    def __init__(self, jobs: int = 2, mp_context: Optional[str] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.mp_context = mp_context
+
+    def run(self, ctx: WorkContext,
+            tasks: Sequence[ShardTask]) -> Iterator[ShardOutcome]:
+        import multiprocessing
+        args_list = [(task.index, task.of, task.ranks, str(ctx.out_dir),
+                      ctx.compress, ctx.keep_incomplete) for task in tasks]
+        if len(args_list) == 1 or self.jobs == 1:
+            # One worker would only add pickling overhead; reuse the
+            # in-process path through the same task function.
+            _init_worker(ctx.population, ctx.config)
+            try:
+                for args in args_list:
+                    yield _to_outcome(_pool_run_shard(args))
+            finally:
+                _WORKER.clear()
+            return
+        context = multiprocessing.get_context(self.mp_context)
+        processes = min(self.jobs, len(args_list))
+        with context.Pool(processes=processes, initializer=_init_worker,
+                          initargs=(ctx.population, ctx.config)) as pool:
+            for result in pool.imap_unordered(_pool_run_shard, args_list):
+                yield _to_outcome(result)
+
+
+def _to_outcome(result: Tuple[int, bool, str, int, str]) -> ShardOutcome:
+    index, ok, name, count, payload = result
+    if ok:
+        return ShardOutcome(index=index, ok=True, file=name, count=count,
+                            sha256=payload)
+    return ShardOutcome(index=index, ok=False, error=payload)
+
+
+class SubprocessBackend(WorkerBackend):
+    """Execs ``python -m repro crawl-shard`` per shard.
+
+    This is the cross-machine worker protocol run locally: the only
+    coordinator→worker channel is the ``workspec.json`` file and the
+    shard index argument; the only worker→coordinator channel is the
+    shard file plus one JSON result line on stdout.  A worker that
+    crashes (non-zero exit, no result line) is a failed task, which the
+    coordinator retries idempotently.
+    """
+
+    name = "subprocess"
+
+    def __init__(self, jobs: int = 1, python: Optional[str] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.python = python or sys.executable
+
+    def _command(self, ctx: WorkContext, index: int) -> List[str]:
+        # The worker runs with cwd=out_dir, so the spec path must be
+        # absolute to survive the directory change.
+        return [self.python, "-m", "repro", "crawl-shard",
+                str(Path(ctx.spec_path).resolve()), str(index)]
+
+    def _env(self) -> Dict[str, str]:
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (package_root if not existing
+                             else os.pathsep.join([package_root, existing]))
+        return env
+
+    def run(self, ctx: WorkContext,
+            tasks: Sequence[ShardTask]) -> Iterator[ShardOutcome]:
+        if ctx.spec_path is None:
+            raise CoordinationError(
+                "subprocess backend needs a workspec.json "
+                "(coordinator did not write one)")
+        env = self._env()
+        queue = list(tasks)
+        running: List[Tuple[ShardTask, subprocess.Popen, Path]] = []
+        while queue or running:
+            while queue and len(running) < self.jobs:
+                task = queue.pop(0)
+                # Worker output goes to files, not pipes: a chatty
+                # worker would fill the OS pipe buffer, block in
+                # write(), and never exit — deadlocking this poll loop.
+                log_path = ctx.out_dir / f".worker-{task.index:04d}.log"
+                with open(log_path, "w", encoding="utf-8") as log:
+                    proc = subprocess.Popen(
+                        self._command(ctx, task.index), env=env,
+                        stdout=log, stderr=subprocess.STDOUT,
+                        cwd=str(ctx.out_dir))
+                running.append((task, proc, log_path))
+            still_running: List[Tuple[ShardTask, subprocess.Popen, Path]] = []
+            progressed = False
+            for task, proc, log_path in running:
+                if proc.poll() is None:
+                    still_running.append((task, proc, log_path))
+                    continue
+                progressed = True
+                yield self._finish(task, proc, log_path)
+            running = still_running
+            if running and not progressed:
+                time.sleep(0.02)
+
+    def _finish(self, task: ShardTask, proc: subprocess.Popen,
+                log_path: Path) -> ShardOutcome:
+        try:
+            stdout = log_path.read_text(encoding="utf-8")
+        except OSError:
+            stdout = ""
+        if proc.returncode != 0:
+            detail = stdout.strip().splitlines()
+            tail = detail[-1] if detail else "no output"
+            return ShardOutcome(
+                index=task.index, ok=False,
+                error=f"worker exited {proc.returncode}: {tail}")
+        log_path.unlink(missing_ok=True)
+        # stderr is merged into the log, so scan from the end for the
+        # result record rather than trusting the very last line.
+        lines = [line for line in stdout.splitlines() if line.strip()]
+        for line in reversed(lines):
+            try:
+                record = json.loads(line)
+                return ShardOutcome(index=task.index, ok=True,
+                                    file=str(record["file"]),
+                                    count=int(record["count"]),
+                                    sha256=str(record["sha256"]))
+            except (KeyError, TypeError, ValueError):
+                continue
+        return ShardOutcome(
+            index=task.index, ok=False,
+            error="worker produced no parseable result line")
+
+
+def make_backend(name: str, jobs: int = 1,
+                 mp_context: Optional[str] = None) -> WorkerBackend:
+    """Backend factory for the CLI: inprocess | pool | subprocess."""
+    if name == "inprocess":
+        return InProcessBackend()
+    if name == "pool":
+        return ProcessPoolBackend(jobs=jobs, mp_context=mp_context)
+    if name == "subprocess":
+        return SubprocessBackend(jobs=jobs)
+    raise ValueError(f"unknown backend {name!r} "
+                     "(expected inprocess, pool, or subprocess)")
+
+
+# ---------------------------------------------------------------------------
+# The shard store (content-addressed cache)
+# ---------------------------------------------------------------------------
+
+class ShardStore:
+    """Content-addressed cache of crawled shard files.
+
+    Layout: ``<root>/objects/<key[:2]>/<key>/{meta.json, shard.jsonl[.gz]}``
+    where ``key`` is :meth:`shard_key`.  Entries are verified on fetch:
+    a stale entry — missing data file, unreadable meta, or bytes that no
+    longer hash to the recorded digest — is evicted and reported as a
+    miss, so a corrupted cache can only cost a re-crawl, never wrong
+    results.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # -- keys --------------------------------------------------------------
+    @staticmethod
+    def shard_key(population_fp: str, config_fp: str, ranks: Sequence[int],
+                  compress: bool = False) -> str:
+        """The cache key: population × config × ranks × compression.
+
+        Scheduling (worker count, backend, shard *index*) is absent by
+        design — only inputs that can change the shard's bytes count.
+        """
+        return _shard_key(population_fp, config_fp, ranks, compress)
+
+    def _entry_dir(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / key
+
+    def _data_name(self, compress: bool) -> str:
+        return "shard.jsonl" + (".gz" if compress else "")
+
+    # -- operations --------------------------------------------------------
+    def get_meta(self, key: str) -> Optional[Dict]:
+        meta_path = self._entry_dir(key) / "meta.json"
+        try:
+            return json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def contains(self, key: str) -> bool:
+        return self.get_meta(key) is not None
+
+    def evict(self, key: str) -> None:
+        entry = self._entry_dir(key)
+        if entry.exists():
+            shutil.rmtree(entry)
+
+    def fetch(self, key: str, out_dir: Union[str, Path],
+              index: int) -> Optional[ShardWriteResult]:
+        """Materialize a cached shard as ``shard-NNNN`` in ``out_dir``.
+
+        Returns None on a miss *or* a stale entry (which is evicted).
+        The copied bytes are re-hashed so a hit is always verified.
+        """
+        meta = self.get_meta(key)
+        if meta is None:
+            return None
+        entry = self._entry_dir(key)
+        try:
+            compress = bool(meta["compress"])
+            count = int(meta["count"])
+            recorded = str(meta["sha256"])
+            data_path = entry / str(meta["file"])
+        except (KeyError, TypeError, ValueError):
+            self.evict(key)
+            return None
+        if not data_path.exists() or compute_digest(data_path) != recorded:
+            self.evict(key)
+            return None
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        name = shard_filename(index, compress)
+        shutil.copyfile(data_path, out_dir / name)
+        return ShardWriteResult(name=name, count=count, sha256=recorded)
+
+    def put(self, key: str, shard_path: Union[str, Path], count: int,
+            compress: bool, sha256: Optional[str] = None) -> None:
+        """Insert a crawled shard file under ``key`` (idempotent)."""
+        shard_path = Path(shard_path)
+        entry = self._entry_dir(key)
+        entry.mkdir(parents=True, exist_ok=True)
+        data_name = self._data_name(compress)
+        digest = sha256 or compute_digest(shard_path)
+        tmp = entry / (data_name + ".tmp")
+        shutil.copyfile(shard_path, tmp)
+        tmp.replace(entry / data_name)
+        meta = {"key": key, "file": data_name, "count": int(count),
+                "compress": bool(compress), "sha256": digest}
+        meta_tmp = entry / "meta.json.tmp"
+        meta_tmp.write_text(json.dumps(meta, sort_keys=True, indent=2) + "\n",
+                            encoding="utf-8")
+        meta_tmp.replace(entry / "meta.json")
+
+
+# ---------------------------------------------------------------------------
+# The coordinator
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CrawlReport:
+    """What a coordinator run did, and the manifest it produced."""
+
+    manifest: ShardManifest
+    out_dir: Path
+    executed_shards: int      # shards crawled by a backend this run
+    cached_shards: int        # shards materialized from the ShardStore
+    reused_shards: int        # shards already done in the journal
+    visits_executed: int      # site visits actually performed this run
+    retries: int              # extra attempts beyond each shard's first
+    population_fingerprint: str
+    config_fingerprint: str
+
+
+class Coordinator:
+    """Drives a :class:`ShardPlan` to a complete, verified crawl dataset.
+
+    The loop is: load-or-create the durable queue → resolve cache hits →
+    dispatch pending tasks to the backend → retry failures/losses up to
+    ``max_retries`` → assemble and verify the manifest → backfill the
+    cache.  Re-running a coordinator over an interrupted ``out_dir``
+    resumes exactly where the journal left off; shard re-execution is
+    idempotent, and any previously recorded digest is enforced against
+    retried bytes.
+    """
+
+    def __init__(self, population: Population,
+                 config: Optional[CrawlConfig] = None,
+                 backend: Optional[WorkerBackend] = None,
+                 max_retries: int = 2,
+                 store: Optional[ShardStore] = None,
+                 compress: bool = False,
+                 keep_incomplete: bool = False,
+                 strategy: str = "contiguous",
+                 progress: Optional[Callable[[CrawlProgress], None]] = None):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.population = population
+        self.config = config or CrawlConfig()
+        policy = self.config.guard_policy
+        if store is not None and policy is not None \
+                and policy.entity_of is not None:
+            # The fingerprint records entity_of as a presence bit only,
+            # so two different entity maps would share cache keys.
+            raise CoordinationError(
+                "guard policies with an entity_of callable cannot be "
+                "fingerprinted for the shard cache; run without a store")
+        self.backend = backend or InProcessBackend()
+        self.max_retries = max_retries
+        self.store = store
+        self.compress = compress
+        self.keep_incomplete = keep_incomplete
+        self.strategy = strategy
+        self.progress = progress
+        self.population_fp = population_fingerprint(population)
+        self.config_fp = config_fingerprint(self.config)
+
+    # ------------------------------------------------------------------
+    def plan(self, n_shards: int) -> ShardPlan:
+        return ShardPlan.for_population(self.population, n_shards,
+                                        self.strategy)
+
+    def _run_key(self, plan: ShardPlan) -> str:
+        payload = {
+            "population": self.population_fp,
+            "config": self.config_fp,
+            "compress": self.compress,
+            "keep_incomplete": self.keep_incomplete,
+            "shards": [list(shard.ranks) for shard in plan],
+        }
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def _key_for(self, task: ShardTask) -> str:
+        return ShardStore.shard_key(self.population_fp, self.config_fp,
+                                    task.ranks, self.compress)
+
+    # ------------------------------------------------------------------
+    def run(self, out_dir: Union[str, Path],
+            n_shards: Optional[int] = None) -> CrawlReport:
+        """Execute (or resume) the crawl into ``out_dir``."""
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        plan = self.plan(n_shards if n_shards is not None
+                         else max(len(self.population.sites) // 256, 1))
+        run_key = self._run_key(plan)
+        queue = self._open_queue(out_dir, plan, run_key)
+
+        started = time.monotonic()
+        stats = {"executed": 0, "cached": 0, "reused": 0, "visits": 0,
+                 "retries": 0}
+        self._reconcile_done(queue, out_dir, stats)
+        self._resolve_cache_hits(queue, out_dir, plan, stats, started)
+        self._dispatch(queue, out_dir, plan, stats, started)
+
+        manifest = self._assemble_manifest(queue, out_dir)
+        self._backfill_store(queue, out_dir)
+        return CrawlReport(
+            manifest=manifest, out_dir=out_dir,
+            executed_shards=stats["executed"],
+            cached_shards=stats["cached"],
+            reused_shards=stats["reused"],
+            visits_executed=stats["visits"],
+            retries=stats["retries"],
+            population_fingerprint=self.population_fp,
+            config_fingerprint=self.config_fp,
+        )
+
+    # ------------------------------------------------------------------
+    def _open_queue(self, out_dir: Path, plan: ShardPlan,
+                    run_key: str) -> WorkQueue:
+        queue_path = out_dir / QUEUE_NAME
+        if queue_path.exists():
+            queue = WorkQueue.load(queue_path)
+            if queue.run_key != run_key:
+                raise CoordinationError(
+                    f"{queue_path} belongs to a different crawl "
+                    f"(population/config/plan changed); refusing to mix "
+                    f"shard artifacts")
+            return queue
+        return WorkQueue.create(queue_path, plan, run_key)
+
+    def _reconcile_done(self, queue: WorkQueue, out_dir: Path,
+                        stats: Dict[str, int]) -> None:
+        """Re-verify journal-done shards; demote damaged ones to pending.
+
+        A demoted task keeps its recorded digest as ``expected_sha256``:
+        the retry must reproduce those exact bytes or the run fails —
+        that is the idempotency verification the journal makes possible.
+        """
+        for task in queue.in_order():
+            if task.state != DONE:
+                continue
+            path = out_dir / (task.file or "")
+            if task.file and path.exists() \
+                    and compute_digest(path) == task.sha256:
+                stats["reused"] += 1
+                continue
+            task.expected_sha256 = task.sha256
+            task.state = PENDING
+            task.file = None
+            task.source = None
+
+    def _resolve_cache_hits(self, queue: WorkQueue, out_dir: Path,
+                            plan: ShardPlan, stats: Dict[str, int],
+                            started: float) -> None:
+        if self.store is None:
+            return
+        for task in queue.unfinished():
+            written = self.store.fetch(self._key_for(task), out_dir,
+                                       task.index)
+            if written is None:
+                continue
+            if task.expected_sha256 and written.sha256 != task.expected_sha256:
+                raise CoordinationError(
+                    f"shard {task.index}: cached bytes hash to "
+                    f"{written.sha256[:12]}…, journal recorded "
+                    f"{task.expected_sha256[:12]}…")
+            queue.done(task, file=written.name, count=written.count,
+                       sha256=written.sha256, source="cache")
+            stats["cached"] += 1
+            self._report_progress(queue, plan, task, stats, started)
+
+    def _dispatch(self, queue: WorkQueue, out_dir: Path, plan: ShardPlan,
+                  stats: Dict[str, int], started: float) -> None:
+        ctx = WorkContext(population=self.population, config=self.config,
+                          out_dir=out_dir, compress=self.compress,
+                          keep_incomplete=self.keep_incomplete)
+        if isinstance(self.backend, SubprocessBackend):
+            spec = WorkSpec.build(self.population, self.config, plan,
+                                  self.compress, self.keep_incomplete)
+            ctx.spec_path = spec.save(out_dir)
+        while True:
+            todo = queue.unfinished()
+            if not todo:
+                return
+            exhausted = [t for t in todo
+                         if t.attempts > self.max_retries]
+            if exhausted:
+                worst = exhausted[0]
+                raise CoordinationError(
+                    f"shard {worst.index} failed after {worst.attempts} "
+                    f"attempts (max_retries={self.max_retries}): "
+                    f"{worst.error or 'worker lost'}")
+            for task in todo:
+                if task.attempts > 0:
+                    stats["retries"] += 1
+                queue.lease(task, worker=self.backend.name)
+            for outcome in self.backend.run(ctx, todo):
+                task = queue.tasks[outcome.index]
+                if not outcome.ok:
+                    queue.fail(task, outcome.error or "worker failed")
+                    continue
+                expected = task.expected_sha256
+                if expected and outcome.sha256 != expected:
+                    raise CoordinationError(
+                        f"shard {task.index}: retried bytes hash to "
+                        f"{(outcome.sha256 or '?')[:12]}…, a previous "
+                        f"attempt recorded {expected[:12]}… — the "
+                        f"determinism contract is broken")
+                queue.done(task, file=outcome.file or "",
+                           count=outcome.count,
+                           sha256=outcome.sha256 or "", source="crawl")
+                stats["executed"] += 1
+                stats["visits"] += len(task.ranks)
+                self._report_progress(queue, plan, task, stats, started)
+
+    def _report_progress(self, queue: WorkQueue, plan: ShardPlan,
+                         task: ShardTask, stats: Dict[str, int],
+                         started: float) -> None:
+        if self.progress is None:
+            return
+        done = [t for t in queue.in_order() if t.state == DONE]
+        self.progress(CrawlProgress(
+            shard_index=task.index,
+            n_shards=plan.n_shards,
+            shard_visits=task.count,
+            done_shards=len(done),
+            total_visits=sum(t.count for t in done),
+            elapsed=time.monotonic() - started,
+        ))
+
+    def _assemble_manifest(self, queue: WorkQueue,
+                           out_dir: Path) -> ShardManifest:
+        tasks = queue.in_order()
+        manifest = ShardManifest(
+            n_shards=len(tasks),
+            total=sum(task.count for task in tasks),
+            compress=self.compress,
+            files=tuple(task.file or "" for task in tasks),
+            counts=tuple(task.count for task in tasks),
+            digests=tuple(task.sha256 for task in tasks),
+        )
+        manifest.save(out_dir)
+        try:
+            verify_shard_files(out_dir, manifest)
+        except ManifestError as exc:
+            raise CoordinationError(
+                f"assembled dataset failed verification: {exc}") from exc
+        return manifest
+
+    def _backfill_store(self, queue: WorkQueue, out_dir: Path) -> None:
+        if self.store is None:
+            return
+        for task in queue.in_order():
+            if task.source != "crawl" or not task.file:
+                continue
+            key = self._key_for(task)
+            if not self.store.contains(key):
+                self.store.put(key, out_dir / task.file, task.count,
+                               self.compress, sha256=task.sha256)

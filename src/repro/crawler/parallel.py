@@ -39,7 +39,7 @@ from ..ecosystem.population import Population
 from ..ecosystem.site import SiteSpec
 from .crawler import CrawlConfig, Crawler
 from .logs import VisitLog
-from .storage import ShardManifest, save_shard, shard_filename
+from .storage import ShardManifest, write_shard
 
 __all__ = ["Shard", "ShardPlan", "ParallelCrawler", "derive_shard_config",
            "CrawlProgress", "print_progress"]
@@ -186,20 +186,22 @@ def _crawl_shard(args) -> Tuple[int, int, List[VisitLog]]:
     return shard.index, len(logs), logs
 
 
-def _crawl_shard_to_file(args) -> Tuple[int, int, str]:
+def _crawl_shard_to_file(args) -> Tuple[int, int, str, str]:
     """Crawl one shard, streaming logs to its shard file as visits finish.
 
     ``Crawler.icrawl`` emits logs in rank order even while the engine
     overlaps visits, so the shard file is written incrementally — peak
-    memory is the in-flight visits, not the whole shard.
+    memory is the in-flight visits, not the whole shard.  Returns the
+    shard file's SHA-256 alongside name and count so the coordinator can
+    pin the bytes in the manifest.
     """
     shard, keep_incomplete, directory, compress = args
     config = derive_shard_config(_WORKER["config"], shard)
     crawler = Crawler(_WORKER["population"], config)
     stream = crawler.icrawl(_shard_sites(shard),
                             keep_incomplete=keep_incomplete)
-    count = save_shard(stream, directory, shard.index, compress=compress)
-    return shard.index, count, shard_filename(shard.index, compress)
+    written = write_shard(stream, directory, shard.index, compress=compress)
+    return shard.index, written.count, written.name, written.sha256
 
 
 # ---------------------------------------------------------------------------
@@ -291,10 +293,11 @@ class ParallelCrawler:
                          key=lambda r: r[0])
         manifest = ShardManifest(
             n_shards=plan.n_shards,
-            total=sum(count for _i, count, _f in results),
+            total=sum(count for _i, count, _f, _d in results),
             compress=compress,
-            files=tuple(name for _i, _c, name in results),
-            counts=tuple(count for _i, count, _f in results),
+            files=tuple(name for _i, _c, name, _d in results),
+            counts=tuple(count for _i, count, _f, _d in results),
+            digests=tuple(digest for _i, _c, _f, digest in results),
         )
         manifest.save(directory)
         return manifest

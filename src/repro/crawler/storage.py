@@ -16,6 +16,8 @@ manifest directory automatically and validates it while reading.
 from __future__ import annotations
 
 import gzip
+import hashlib
+import io
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -27,10 +29,14 @@ __all__ = [
     "CrawlDataset",
     "ManifestError",
     "ShardManifest",
+    "ShardWriteResult",
+    "compute_digest",
     "iter_logs",
     "load_logs",
     "save_logs",
     "shard_filename",
+    "verify_shard_files",
+    "write_shard",
 ]
 
 MANIFEST_NAME = "manifest.json"
@@ -41,10 +47,43 @@ class ManifestError(ValueError):
     """A sharded dataset's manifest is missing, malformed, or stale."""
 
 
+class _DeterministicGzipWriter(gzip.GzipFile):
+    """Gzip writer with a zeroed header (no mtime, no filename).
+
+    Plain ``gzip.open`` stamps the current time into the member header,
+    so two byte-identical log streams would compress to *different*
+    files.  Shard digests (and the distributed coordinator's retry
+    verification) need the compressed bytes to be a pure function of
+    the content, so shard files are always written through this.
+    """
+
+    def __init__(self, path: Path):
+        self._raw = open(path, "wb")
+        super().__init__(filename="", mode="wb", fileobj=self._raw, mtime=0)
+
+    def close(self) -> None:
+        try:
+            super().close()
+        finally:
+            self._raw.close()
+
+
 def _open(path: Path, mode: str):
     if path.suffix == ".gz":
+        if "w" in mode:
+            return io.TextIOWrapper(_DeterministicGzipWriter(path),
+                                    encoding="utf-8")
         return gzip.open(path, mode + "t", encoding="utf-8")
     return open(path, mode, encoding="utf-8")
+
+
+def compute_digest(path: Union[str, Path]) -> str:
+    """SHA-256 over a file's raw (on-disk, possibly compressed) bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def shard_filename(index: int, compress: bool = False) -> str:
@@ -57,24 +96,42 @@ def shard_filename(index: int, compress: bool = False) -> str:
 
 @dataclass(frozen=True)
 class ShardManifest:
-    """Describes a sharded crawl directory (``manifest.json``)."""
+    """Describes a sharded crawl directory (``manifest.json``).
+
+    ``digests`` — per-shard SHA-256 over the raw shard-file bytes — is
+    optional (entries may be ``None``): datasets written before digests
+    existed still load.  When present, a digest pins the shard file
+    byte-for-byte, which is what makes distributed retry and the shard
+    cache verifiable (see :mod:`repro.crawler.distributed`).
+    """
 
     n_shards: int
     total: int
     compress: bool
     files: tuple          # shard file names, indexed by shard
     counts: tuple         # logs per shard, indexed by shard
+    digests: tuple = ()   # sha256 hex (or None) per shard; () = none known
     version: int = MANIFEST_VERSION
 
+    def digest_for(self, index: int) -> Optional[str]:
+        if 0 <= index < len(self.digests):
+            return self.digests[index]
+        return None
+
     def to_dict(self) -> Dict:
+        shards = []
+        for i, (name, count) in enumerate(zip(self.files, self.counts)):
+            entry: Dict = {"index": i, "file": name, "count": count}
+            digest = self.digest_for(i)
+            if digest is not None:
+                entry["sha256"] = digest
+            shards.append(entry)
         return {
             "version": self.version,
             "n_shards": self.n_shards,
             "total": self.total,
             "compress": self.compress,
-            "shards": [{"index": i, "file": f, "count": c}
-                       for i, (f, c) in enumerate(zip(self.files,
-                                                      self.counts))],
+            "shards": shards,
         }
 
     @classmethod
@@ -89,13 +146,18 @@ class ShardManifest:
             indexes = [int(s["index"]) for s in shards]
             if indexes != list(range(len(shards))):
                 raise ManifestError(f"non-contiguous shard indexes {indexes}")
+            digests = tuple(
+                str(s["sha256"]) if s.get("sha256") is not None else None
+                for s in shards)
+            if all(d is None for d in digests):
+                digests = ()
             manifest = cls(
                 n_shards=int(data["n_shards"]),
                 total=int(data["total"]),
                 compress=bool(data["compress"]),
                 files=tuple(str(s["file"]) for s in shards),
                 counts=tuple(int(s["count"]) for s in shards),
-                version=version,
+                digests=digests,
             )
         except ManifestError:
             raise
@@ -105,6 +167,10 @@ class ShardManifest:
             raise ManifestError(
                 f"manifest lists {len(manifest.files)} shards "
                 f"but declares n_shards={manifest.n_shards}")
+        if manifest.digests and len(manifest.digests) != len(manifest.files):
+            raise ManifestError(
+                f"manifest carries {len(manifest.digests)} digests "
+                f"for {len(manifest.files)} shards")
         if manifest.total != sum(manifest.counts):
             raise ManifestError(
                 f"manifest total {manifest.total} != "
@@ -133,6 +199,15 @@ class ShardManifest:
 # Writing
 # ---------------------------------------------------------------------------
 
+@dataclass(frozen=True)
+class ShardWriteResult:
+    """What writing one shard file produced: name, log count, digest."""
+
+    name: str
+    count: int
+    sha256: str
+
+
 def _write_shard(logs: Iterable[VisitLog], path: Path) -> int:
     count = 0
     with _open(path, "w") as handle:
@@ -142,16 +217,28 @@ def _write_shard(logs: Iterable[VisitLog], path: Path) -> int:
     return count
 
 
-def save_shard(logs: Iterable[VisitLog], directory: Union[str, Path],
-               index: int, compress: bool = False) -> int:
-    """Write one shard file into ``directory``; returns its log count.
+def write_shard(logs: Iterable[VisitLog], directory: Union[str, Path],
+                index: int, compress: bool = False) -> ShardWriteResult:
+    """Write one shard file into ``directory``; returns name/count/digest.
 
-    Used by parallel workers, which each own one shard; the coordinator
-    assembles and saves the :class:`ShardManifest` afterwards.
+    Used by parallel and distributed workers, which each own one shard;
+    the coordinator assembles and saves the :class:`ShardManifest` from
+    the returned digests afterwards.  Gzip output is deterministic
+    (zeroed header), so the digest is a pure function of the logs.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    return _write_shard(logs, directory / shard_filename(index, compress))
+    name = shard_filename(index, compress)
+    path = directory / name
+    count = _write_shard(logs, path)
+    return ShardWriteResult(name=name, count=count,
+                            sha256=compute_digest(path))
+
+
+def save_shard(logs: Iterable[VisitLog], directory: Union[str, Path],
+               index: int, compress: bool = False) -> int:
+    """Back-compat wrapper around :func:`write_shard` (count only)."""
+    return write_shard(logs, directory, index, compress=compress).count
 
 
 def save_logs(logs: Iterable[VisitLog], path: Union[str, Path],
@@ -174,17 +261,19 @@ def save_logs(logs: Iterable[VisitLog], path: Union[str, Path],
     base, extra = divmod(len(logs), n_shards)
     counts: List[int] = []
     files: List[str] = []
+    digests: List[str] = []
     start = 0
     for index in range(n_shards):
         size = base + (1 if index < extra else 0)
         chunk = logs[start:start + size]
         start += size
-        name = shard_filename(index, compress)
-        _write_shard(chunk, path / name)
-        files.append(name)
-        counts.append(len(chunk))
+        written = write_shard(chunk, path, index, compress=compress)
+        files.append(written.name)
+        counts.append(written.count)
+        digests.append(written.sha256)
     ShardManifest(n_shards=n_shards, total=len(logs), compress=compress,
-                  files=tuple(files), counts=tuple(counts)).save(path)
+                  files=tuple(files), counts=tuple(counts),
+                  digests=tuple(digests)).save(path)
     return len(logs)
 
 
@@ -218,13 +307,50 @@ def iter_logs(path: Union[str, Path]) -> Iterator[VisitLog]:
         if not shard_path.exists():
             raise ManifestError(f"manifest lists missing shard {name}")
         seen = 0
-        for log in _iter_file(shard_path):
-            seen += 1
-            yield log
+        try:
+            for log in _iter_file(shard_path):
+                seen += 1
+                yield log
+        except ManifestError:
+            raise
+        except (OSError, EOFError, UnicodeDecodeError,
+                json.JSONDecodeError) as exc:
+            # Covers a manifest/disk format mismatch: a .gz shard name
+            # over plain bytes (BadGzipFile/EOFError) or gzip bytes
+            # under a plain name (UnicodeDecodeError/JSON garbage).
+            layout = "gzip JSONL" if name.endswith(".gz") else "plain JSONL"
+            raise ManifestError(
+                f"shard {index} ({name}) is not readable as the "
+                f"{layout} the manifest records: {exc}") from exc
         if seen != expected:
             raise ManifestError(
                 f"shard {index} ({name}) holds {seen} logs, "
                 f"manifest says {expected}")
+
+
+def verify_shard_files(directory: Union[str, Path],
+                       manifest: Optional[ShardManifest] = None) -> None:
+    """Check every shard file against the manifest's recorded digests.
+
+    Raises :class:`ManifestError` naming the first shard whose file is
+    missing or whose bytes do not hash to the recorded SHA-256; shards
+    without a recorded digest are only checked for existence.
+    """
+    directory = Path(directory)
+    if manifest is None:
+        manifest = ShardManifest.load(directory)
+    for index, name in enumerate(manifest.files):
+        shard_path = directory / name
+        if not shard_path.exists():
+            raise ManifestError(f"manifest lists missing shard {name}")
+        expected = manifest.digest_for(index)
+        if expected is None:
+            continue
+        actual = compute_digest(shard_path)
+        if actual != expected:
+            raise ManifestError(
+                f"shard {index} ({name}) hashes to {actual[:12]}…, "
+                f"manifest records {expected[:12]}…")
 
 
 def load_logs(path: Union[str, Path]) -> List[VisitLog]:

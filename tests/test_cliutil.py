@@ -12,6 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cliutil import (
+    pop_choice_flag,
     pop_flag,
     pop_int_flag,
     pop_switch,
@@ -133,6 +134,40 @@ class TestRejectUnknownFlags:
         assert exc.value.code == 2
 
 
+class TestPopChoiceFlag:
+    CHOICES = ["inprocess", "pool", "subprocess"]
+
+    def test_absent_returns_default(self):
+        assert pop_choice_flag([], "--backend", self.CHOICES) is None
+        assert pop_choice_flag([], "--backend", self.CHOICES,
+                               default="pool") == "pool"
+
+    def test_valid_choice_extracted(self):
+        args = ["--backend", "pool", "120"]
+        assert pop_choice_flag(args, "--backend", self.CHOICES) == "pool"
+        assert args == ["120"]
+
+    def test_equals_form(self):
+        args = ["--backend=subprocess"]
+        assert pop_choice_flag(args, "--backend",
+                               self.CHOICES) == "subprocess"
+
+    def test_invalid_choice_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            pop_choice_flag(["--backend", "cluster"], "--backend",
+                            self.CHOICES)
+        assert exc.value.code == 2
+
+    def test_repeated_validates_the_winning_value(self):
+        args = ["--backend", "cluster", "--backend", "pool"]
+        assert pop_choice_flag(args, "--backend", self.CHOICES) == "pool"
+
+    def test_choice_after_double_dash_is_positional(self):
+        args = ["--", "--backend", "pool"]
+        assert pop_choice_flag(args, "--backend", self.CHOICES) is None
+        assert args == ["--", "--backend", "pool"]
+
+
 class TestEndToEndParse:
     def test_crawl_style_parse(self):
         """The exact sequence ``_run_crawl`` performs."""
@@ -145,3 +180,22 @@ class TestEndToEndParse:
         assert pop_switch(args, "--progress") is True
         reject_unknown_flags(args)
         assert args == ["120", "out dir"]
+
+    def test_distributed_crawl_style_parse(self):
+        """The distributed variant: backend, cache dir, retries."""
+        args = ["--backend=pool", "--cache-dir", "shard-cache",
+                "--max-retries", "3", "--shards", "4", "200", "out"]
+        assert pop_int_flag(args, "--jobs", 1, minimum=1) == 1
+        assert pop_int_flag(args, "--shards", 0, minimum=1) == 4
+        assert pop_choice_flag(args, "--backend",
+                               ["inprocess", "pool", "subprocess"]) == "pool"
+        assert pop_flag(args, "--cache-dir") == "shard-cache"
+        assert pop_int_flag(args, "--max-retries", 2, minimum=0) == 3
+        reject_unknown_flags(args)
+        assert args == ["200", "out"]
+
+    def test_negative_max_retries_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            pop_int_flag(["--max-retries", "-1"], "--max-retries", 2,
+                         minimum=0)
+        assert exc.value.code == 2

@@ -1,0 +1,637 @@
+"""The distributed crawl coordinator (ROADMAP rungs 3–4).
+
+The contract under test: a :class:`Coordinator` run produces
+*bit-for-bit* the serial pipeline's logs (hence identical ``Study``
+results) for every worker backend, after injected worker crashes with
+retry, across coordinator crash/resume, and across a cold-vs-warm
+:class:`ShardStore` run — where the warm run executes **zero** visits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Study
+from repro.cookieguard.policy import InlineMode, PolicyConfig
+from repro.crawler import (
+    CoordinationError,
+    Coordinator,
+    CrawlConfig,
+    Crawler,
+    InProcessBackend,
+    ProcessPoolBackend,
+    ShardStore,
+    SubprocessBackend,
+    config_fingerprint,
+    load_logs,
+    make_backend,
+    population_fingerprint,
+)
+from repro.crawler.distributed import (
+    FAULT_ONCE_ENV,
+    QUEUE_NAME,
+    ShardOutcome,
+    WorkQueue,
+    WorkSpec,
+    _config_from_dict,
+    _config_to_dict,
+    run_shard_worker,
+)
+from repro.crawler.storage import ShardManifest
+from repro.ecosystem import PopulationConfig, generate_population
+
+N_SITES = 48
+SEED = 2025
+N_SHARDS = 3
+
+
+def _stream(logs):
+    return [json.dumps(log.to_dict(), sort_keys=True)
+            for log in sorted(logs, key=lambda log: log.rank)]
+
+
+def _study_digest(logs):
+    """A canonical rendering of the Study results for equality checks."""
+    study = Study(logs)
+    payload = {
+        "sec51": study.sec51_prevalence(),
+        "sec52": {k: str(v) for k, v in study.sec52_api_usage().items()},
+        "sec56": study.sec56_inclusion(),
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def small_population():
+    return generate_population(PopulationConfig(n_sites=N_SITES, seed=SEED))
+
+
+@pytest.fixture(scope="module")
+def serial_logs(small_population):
+    return Crawler(small_population, CrawlConfig(seed=SEED)).crawl()
+
+
+@pytest.fixture(scope="module")
+def serial_stream(serial_logs):
+    return _stream(serial_logs)
+
+
+class CountingBackend(InProcessBackend):
+    """In-process backend that tallies the visits it actually executes."""
+
+    def __init__(self):
+        self.visits_executed = 0
+        self.shards_executed = 0
+
+    def run(self, ctx, tasks):
+        for outcome in super().run(ctx, [t for t in tasks]):
+            task = next(t for t in tasks if t.index == outcome.index)
+            self.shards_executed += 1
+            self.visits_executed += len(task.ranks)
+            yield outcome
+
+
+class FlakyBackend(InProcessBackend):
+    """Fails each shard index in ``fail_once`` exactly once, then works."""
+
+    def __init__(self, fail_once):
+        self.remaining = set(fail_once)
+
+    def run(self, ctx, tasks):
+        healthy = []
+        for task in tasks:
+            if task.index in self.remaining:
+                self.remaining.discard(task.index)
+                yield ShardOutcome(index=task.index, ok=False,
+                                   error="injected worker crash")
+            else:
+                healthy.append(task)
+        yield from super().run(ctx, healthy)
+
+
+class DeadBackend(InProcessBackend):
+    """Every task fails, every time."""
+
+    def run(self, ctx, tasks):
+        for task in tasks:
+            yield ShardOutcome(index=task.index, ok=False,
+                               error="injected permanent failure")
+
+
+# ---------------------------------------------------------------------------
+# Backend equivalence (acceptance: bit-identical across all three)
+# ---------------------------------------------------------------------------
+
+class TestBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def backend_runs(self, small_population, tmp_path_factory):
+        """One coordinator run per backend; returns dir + report each."""
+        runs = {}
+        backends = {
+            "inprocess": InProcessBackend(),
+            "pool": ProcessPoolBackend(jobs=2),
+            "subprocess": SubprocessBackend(jobs=2),
+        }
+        for name, backend in backends.items():
+            out = tmp_path_factory.mktemp(f"dist-{name}")
+            coordinator = Coordinator(small_population,
+                                      CrawlConfig(seed=SEED),
+                                      backend=backend)
+            report = coordinator.run(out, n_shards=N_SHARDS)
+            runs[name] = (out, report)
+        return runs
+
+    @pytest.mark.parametrize("name", ["inprocess", "pool", "subprocess"])
+    def test_backend_matches_serial(self, backend_runs, serial_stream, name):
+        out, report = backend_runs[name]
+        assert _stream(load_logs(out)) == serial_stream
+        assert report.executed_shards == N_SHARDS
+        assert report.visits_executed == N_SITES
+
+    def test_study_identical_across_backends(self, backend_runs,
+                                             serial_logs):
+        reference = _study_digest(serial_logs)
+        for name, (out, _report) in backend_runs.items():
+            assert _study_digest(load_logs(out)) == reference, name
+
+    def test_manifests_identical_across_backends(self, backend_runs):
+        manifests = {name: ShardManifest.load(out).to_dict()
+                     for name, (out, _r) in backend_runs.items()}
+        assert manifests["inprocess"] == manifests["pool"]
+        assert manifests["inprocess"] == manifests["subprocess"]
+
+    def test_manifest_records_digests(self, backend_runs):
+        out, _report = backend_runs["inprocess"]
+        manifest = ShardManifest.load(out)
+        assert len(manifest.digests) == N_SHARDS
+        assert all(d for d in manifest.digests)
+
+    def test_make_backend_factory(self):
+        assert make_backend("inprocess").name == "inprocess"
+        assert make_backend("pool", jobs=3).name == "pool"
+        assert make_backend("subprocess").name == "subprocess"
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("carrier-pigeon")
+
+    def test_make_backend_respects_explicit_single_job(self):
+        assert make_backend("pool", jobs=1).jobs == 1
+
+
+# ---------------------------------------------------------------------------
+# Durable queue
+# ---------------------------------------------------------------------------
+
+class TestWorkQueue:
+    def test_journal_replay_roundtrip(self, small_population, tmp_path):
+        out = tmp_path / "out"
+        Coordinator(small_population, CrawlConfig(seed=SEED)).run(
+            out, n_shards=N_SHARDS)
+        queue = WorkQueue.load(out / QUEUE_NAME)
+        assert len(queue.tasks) == N_SHARDS
+        assert all(task.state == "done" for task in queue.in_order())
+        assert all(task.sha256 for task in queue.in_order())
+
+    def test_journal_is_jsonl(self, small_population, tmp_path):
+        out = tmp_path / "out"
+        Coordinator(small_population, CrawlConfig(seed=SEED)).run(
+            out, n_shards=2)
+        lines = (out / QUEUE_NAME).read_text().splitlines()
+        events = [json.loads(line)["event"] for line in lines if line]
+        assert events[0] == "plan"
+        assert events.count("task") == 2
+        assert events.count("done") == 2
+
+    def test_lost_lease_becomes_pending(self, tmp_path):
+        path = tmp_path / QUEUE_NAME
+        records = [
+            {"event": "plan", "version": 1, "run_key": "k", "n_shards": 2,
+             "strategy": "contiguous"},
+            {"event": "task", "index": 0, "ranks": [1, 2]},
+            {"event": "task", "index": 1, "ranks": [3, 4]},
+            {"event": "lease", "index": 0, "attempt": 1, "worker": "w"},
+            {"event": "done", "index": 0, "file": "shard-0000.jsonl",
+             "count": 2, "sha256": "abc", "source": "crawl"},
+            {"event": "lease", "index": 1, "attempt": 2, "worker": "w"},
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        queue = WorkQueue.load(path)
+        assert queue.tasks[0].state == "done"
+        assert queue.tasks[1].state == "pending"   # lost worker
+        assert queue.tasks[1].attempts == 2        # attempts survive
+        assert [t.index for t in queue.unfinished()] == [1]
+
+    def test_release_after_done_pins_the_recorded_digest(self, tmp_path):
+        """done → lease → crash: the retry must reproduce the old bytes."""
+        path = tmp_path / QUEUE_NAME
+        records = [
+            {"event": "plan", "version": 1, "run_key": "k", "n_shards": 1,
+             "strategy": "contiguous"},
+            {"event": "task", "index": 0, "ranks": [1, 2]},
+            {"event": "lease", "index": 0, "attempt": 1, "worker": "w"},
+            {"event": "done", "index": 0, "file": "shard-0000.jsonl",
+             "count": 2, "sha256": "digest-of-attempt-1",
+             "source": "crawl"},
+            {"event": "lease", "index": 0, "attempt": 2, "worker": "w"},
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        queue = WorkQueue.load(path)
+        task = queue.tasks[0]
+        assert task.state == "pending"
+        assert task.expected_sha256 == "digest-of-attempt-1"
+
+    def test_corrupt_journal_raises(self, tmp_path):
+        path = tmp_path / QUEUE_NAME
+        path.write_text('{"event": "plan", "version": 1}\n')
+        with pytest.raises(CoordinationError, match="corrupt queue"):
+            WorkQueue.load(path)
+
+    def test_foreign_queue_rejected(self, small_population, tmp_path):
+        out = tmp_path / "out"
+        Coordinator(small_population, CrawlConfig(seed=SEED)).run(
+            out, n_shards=2)
+        other = Coordinator(small_population, CrawlConfig(seed=7))
+        with pytest.raises(CoordinationError, match="different crawl"):
+            other.run(out, n_shards=2)
+
+
+# ---------------------------------------------------------------------------
+# Crash, retry, idempotence (acceptance: crash + retry stays bit-identical)
+# ---------------------------------------------------------------------------
+
+class TestCrashRetry:
+    def test_flaky_backend_retries_to_identical_output(
+            self, small_population, serial_stream, tmp_path):
+        out = tmp_path / "out"
+        coordinator = Coordinator(small_population, CrawlConfig(seed=SEED),
+                                  backend=FlakyBackend(fail_once={1}),
+                                  max_retries=2)
+        report = coordinator.run(out, n_shards=N_SHARDS)
+        assert report.retries == 1
+        assert _stream(load_logs(out)) == serial_stream
+        events = [json.loads(line)["event"]
+                  for line in (out / QUEUE_NAME).read_text().splitlines()]
+        assert "fail" in events and events.count("done") == N_SHARDS
+
+    def test_retry_exhaustion_raises(self, small_population, tmp_path):
+        coordinator = Coordinator(small_population, CrawlConfig(seed=SEED),
+                                  backend=DeadBackend(), max_retries=1)
+        with pytest.raises(CoordinationError, match="failed after 2 attempts"):
+            coordinator.run(tmp_path / "out", n_shards=2)
+
+    def test_zero_retries_fails_fast(self, small_population, tmp_path):
+        coordinator = Coordinator(small_population, CrawlConfig(seed=SEED),
+                                  backend=DeadBackend(), max_retries=0)
+        with pytest.raises(CoordinationError, match="failed after 1 attempt"):
+            coordinator.run(tmp_path / "out", n_shards=2)
+
+    def test_resume_after_coordinator_crash(self, small_population,
+                                            serial_stream, tmp_path):
+        """A second coordinator over a half-done out_dir finishes the rest."""
+        out = tmp_path / "out"
+        # Crash mid-run: the first coordinator dies after one shard fails
+        # terminally; the journal keeps the two completed shards.
+        coordinator = Coordinator(small_population, CrawlConfig(seed=SEED),
+                                  backend=FlakyBackend(fail_once={2}),
+                                  max_retries=0)
+        with pytest.raises(CoordinationError):
+            coordinator.run(out, n_shards=N_SHARDS)
+        resumed = Coordinator(small_population, CrawlConfig(seed=SEED),
+                              backend=InProcessBackend(), max_retries=1)
+        report = resumed.run(out, n_shards=N_SHARDS)
+        assert report.reused_shards == 2
+        assert report.executed_shards == 1
+        assert _stream(load_logs(out)) == serial_stream
+
+
+# ---------------------------------------------------------------------------
+# Fault injection (run by the coordinator-faults CI job)
+# ---------------------------------------------------------------------------
+
+class TestFaultInjection:
+    def test_killed_subprocess_worker_is_retried(
+            self, small_population, serial_stream, tmp_path, monkeypatch):
+        """Every worker is hard-killed once; retries still converge."""
+        fault_dir = tmp_path / "faults"
+        monkeypatch.setenv(FAULT_ONCE_ENV, str(fault_dir))
+        out = tmp_path / "out"
+        coordinator = Coordinator(small_population, CrawlConfig(seed=SEED),
+                                  backend=SubprocessBackend(jobs=2),
+                                  max_retries=2)
+        report = coordinator.run(out, n_shards=2)
+        assert report.retries == 2                 # each shard died once
+        assert _stream(load_logs(out)) == serial_stream
+
+    def test_truncated_shard_file_is_recrawled_and_verified(
+            self, small_population, serial_stream, tmp_path):
+        """Damage after completion: resume re-crawls and re-verifies."""
+        out = tmp_path / "out"
+        coordinator = Coordinator(small_population, CrawlConfig(seed=SEED))
+        first = coordinator.run(out, n_shards=N_SHARDS)
+        victim = out / first.manifest.files[1]
+        victim.write_bytes(victim.read_bytes()[:-20])
+        resumed = Coordinator(small_population, CrawlConfig(seed=SEED))
+        report = resumed.run(out, n_shards=N_SHARDS)
+        assert report.reused_shards == N_SHARDS - 1
+        assert report.executed_shards == 1
+        assert _stream(load_logs(out)) == serial_stream
+
+    def test_retried_bytes_must_match_recorded_digest(
+            self, small_population, tmp_path):
+        """A journal digest a retry cannot reproduce is an error."""
+        out = tmp_path / "out"
+        coordinator = Coordinator(small_population, CrawlConfig(seed=SEED))
+        first = coordinator.run(out, n_shards=2)
+        queue_path = out / QUEUE_NAME
+        doctored = []
+        for line in queue_path.read_text().splitlines():
+            record = json.loads(line)
+            if record["event"] == "done" and record["index"] == 0:
+                record["sha256"] = "0" * 64
+            doctored.append(json.dumps(record))
+        queue_path.write_text("\n".join(doctored) + "\n")
+        (out / first.manifest.files[0]).unlink()
+        resumed = Coordinator(small_population, CrawlConfig(seed=SEED))
+        with pytest.raises(CoordinationError, match="determinism contract"):
+            resumed.run(out, n_shards=2)
+
+    def test_stale_cache_entry_is_evicted_and_recrawled(
+            self, small_population, serial_stream, tmp_path):
+        """Corrupt cached bytes cost a re-crawl, never wrong results."""
+        store = ShardStore(tmp_path / "cache")
+        cold = Coordinator(small_population, CrawlConfig(seed=SEED),
+                           store=store)
+        cold.run(tmp_path / "out1", n_shards=2)
+        # Corrupt every cached object's data file in place.
+        objects = list((tmp_path / "cache" / "objects").rglob("shard.jsonl"))
+        assert objects
+        for obj in objects:
+            obj.write_bytes(obj.read_bytes() + b'{"bogus": 1}\n')
+        backend = CountingBackend()
+        warm = Coordinator(small_population, CrawlConfig(seed=SEED),
+                           backend=backend, store=store)
+        report = warm.run(tmp_path / "out2", n_shards=2)
+        assert report.cached_shards == 0           # stale entries evicted
+        assert backend.visits_executed == N_SITES  # full re-crawl
+        assert _stream(load_logs(tmp_path / "out2")) == serial_stream
+        # The re-crawl repopulated the cache with good bytes.
+        rewarmed = Coordinator(small_population, CrawlConfig(seed=SEED),
+                               backend=CountingBackend(), store=store)
+        assert rewarmed.run(tmp_path / "out3", n_shards=2).cached_shards == 2
+
+
+# ---------------------------------------------------------------------------
+# The shard store (acceptance: warm run executes zero visits)
+# ---------------------------------------------------------------------------
+
+class TestShardStore:
+    def test_cold_then_warm_run_zero_visits(self, small_population,
+                                            serial_stream, tmp_path):
+        store = ShardStore(tmp_path / "cache")
+        cold_backend = CountingBackend()
+        cold = Coordinator(small_population, CrawlConfig(seed=SEED),
+                           backend=cold_backend, store=store)
+        cold_report = cold.run(tmp_path / "cold", n_shards=N_SHARDS)
+        assert cold_backend.visits_executed == N_SITES
+        assert cold_report.cached_shards == 0
+
+        warm_backend = CountingBackend()
+        warm = Coordinator(small_population, CrawlConfig(seed=SEED),
+                           backend=warm_backend, store=store)
+        warm_report = warm.run(tmp_path / "warm", n_shards=N_SHARDS)
+        assert warm_backend.visits_executed == 0
+        assert warm_backend.shards_executed == 0
+        assert warm_report.visits_executed == 0
+        assert warm_report.cached_shards == N_SHARDS
+        assert _stream(load_logs(tmp_path / "warm")) == serial_stream
+        cold_manifest = ShardManifest.load(tmp_path / "cold")
+        warm_manifest = ShardManifest.load(tmp_path / "warm")
+        assert cold_manifest == warm_manifest
+
+    def test_store_roundtrip(self, tmp_path):
+        store = ShardStore(tmp_path / "cache")
+        payload = tmp_path / "shard-0000.jsonl"
+        payload.write_text('{"x": 1}\n')
+        key = ShardStore.shard_key("pop", "cfg", [1, 2, 3])
+        assert store.fetch(key, tmp_path / "out", 0) is None
+        store.put(key, payload, count=1, compress=False)
+        fetched = store.fetch(key, tmp_path / "out", 4)
+        assert fetched is not None
+        assert fetched.count == 1
+        assert (tmp_path / "out" / "shard-0004.jsonl").read_text() \
+            == payload.read_text()
+
+
+class TestShardStoreKeying:
+    """The cache key covers outputs, never scheduling."""
+
+    BASE = CrawlConfig(seed=SEED)
+
+    def _key(self, config=None, pop_seed=SEED, ranks=(1, 2, 3)):
+        pop_fp = population_fingerprint(
+            PopulationConfig(n_sites=N_SITES, seed=pop_seed))
+        return ShardStore.shard_key(pop_fp,
+                                    config_fingerprint(config or self.BASE),
+                                    ranks)
+
+    def test_population_seed_changes_key(self):
+        assert self._key(pop_seed=SEED) != self._key(pop_seed=SEED + 1)
+
+    def test_crawl_seed_changes_key(self):
+        assert self._key(CrawlConfig(seed=SEED)) \
+            != self._key(CrawlConfig(seed=SEED + 1))
+
+    def test_guard_policy_changes_key(self):
+        plain = CrawlConfig(seed=SEED)
+        guarded = CrawlConfig(seed=SEED, install_guard=True)
+        permissive = CrawlConfig(
+            seed=SEED, install_guard=True,
+            guard_policy=PolicyConfig(inline_mode=InlineMode.RELAXED))
+        keys = {self._key(plain), self._key(guarded), self._key(permissive)}
+        assert len(keys) == 3
+
+    def test_concurrency_changes_key(self):
+        # Deliberately conservative: the engine proves concurrency never
+        # changes a byte, but the cache does not lean on that proof.
+        assert self._key(CrawlConfig(seed=SEED, concurrency=1)) \
+            != self._key(CrawlConfig(seed=SEED, concurrency=8))
+
+    def test_ranks_change_key(self):
+        assert self._key(ranks=(1, 2, 3)) != self._key(ranks=(1, 2, 4))
+
+    def test_shard_labels_do_not_change_key(self):
+        labelled = CrawlConfig(seed=SEED, shard_index=3, shard_count=9)
+        assert self._key(labelled) == self._key(CrawlConfig(seed=SEED))
+
+    def test_jobs_and_backend_hit_the_warm_cache(self, small_population,
+                                                 tmp_path):
+        """Scheduling changes (jobs, backend) must not miss the cache."""
+        store = ShardStore(tmp_path / "cache")
+        cold = Coordinator(small_population, CrawlConfig(seed=SEED),
+                           backend=ProcessPoolBackend(jobs=2), store=store)
+        cold.run(tmp_path / "cold", n_shards=2)
+        warm = Coordinator(small_population, CrawlConfig(seed=SEED),
+                           backend=InProcessBackend(), store=store)
+        report = warm.run(tmp_path / "warm", n_shards=2)
+        assert report.cached_shards == 2
+        assert report.visits_executed == 0
+
+    def test_concurrency_change_misses_the_warm_cache(self, small_population,
+                                                      tmp_path):
+        store = ShardStore(tmp_path / "cache")
+        Coordinator(small_population, CrawlConfig(seed=SEED),
+                    store=store).run(tmp_path / "cold", n_shards=2)
+        changed = Coordinator(small_population,
+                              CrawlConfig(seed=SEED, concurrency=4),
+                              store=store)
+        report = changed.run(tmp_path / "warm", n_shards=2)
+        assert report.cached_shards == 0
+        assert report.executed_shards == 2
+
+
+# ---------------------------------------------------------------------------
+# The worker protocol
+# ---------------------------------------------------------------------------
+
+class TestWorkerProtocol:
+    def test_workspec_roundtrip(self, small_population, tmp_path):
+        from repro.crawler import ShardPlan
+        plan = ShardPlan.for_population(small_population, 3)
+        spec = WorkSpec.build(small_population, CrawlConfig(seed=SEED),
+                              plan, compress=True, keep_incomplete=False)
+        spec.save(tmp_path)
+        loaded = WorkSpec.load(tmp_path / "workspec.json")
+        assert loaded == spec
+
+    def test_config_dict_roundtrip_with_policy(self):
+        config = CrawlConfig(
+            seed=7, max_clicks=1, install_guard=True,
+            guard_policy=PolicyConfig(inline_mode=InlineMode.RELAXED,
+                                      owner_full_access=False),
+            concurrency=3)
+        restored = _config_from_dict(_config_to_dict(config))
+        assert restored.seed == 7
+        assert restored.guard_policy.inline_mode is InlineMode.RELAXED
+        assert restored.guard_policy.owner_full_access is False
+        assert config_fingerprint(restored) == config_fingerprint(config)
+
+    def test_entity_whitelist_policy_not_serializable(self):
+        config = CrawlConfig(
+            install_guard=True,
+            guard_policy=PolicyConfig(entity_of=lambda domain: None))
+        with pytest.raises(CoordinationError, match="entity_of"):
+            _config_to_dict(config)
+
+    def test_entity_whitelist_policy_refuses_the_cache(self, tmp_path,
+                                                       small_population):
+        """entity_of fingerprints as a presence bit, so no ShardStore."""
+        config = CrawlConfig(
+            install_guard=True,
+            guard_policy=PolicyConfig(entity_of=lambda domain: None))
+        with pytest.raises(CoordinationError, match="shard cache"):
+            Coordinator(small_population, config,
+                        store=ShardStore(tmp_path / "cache"))
+        # Without a store the same config is fine (in-process backends).
+        Coordinator(small_population, config)
+
+    def test_run_shard_worker_matches_coordinator(self, small_population,
+                                                  serial_stream, tmp_path):
+        """A bare worker produces the exact shard the coordinator records."""
+        from repro.crawler import ShardPlan
+        plan = ShardPlan.for_population(small_population, 2)
+        spec = WorkSpec.build(small_population, CrawlConfig(seed=SEED),
+                              plan, compress=False, keep_incomplete=False)
+        spec_path = spec.save(tmp_path)
+        results = [run_shard_worker(spec_path, index) for index in range(2)]
+        out = tmp_path / "coordinated"
+        report = Coordinator(small_population, CrawlConfig(seed=SEED)).run(
+            out, n_shards=2)
+        assert [r["sha256"] for r in results] \
+            == list(report.manifest.digests)
+        worker_logs = [log for r in results
+                       for log in load_logs(tmp_path / r["file"])]
+        assert _stream(worker_logs) == serial_stream
+
+    def test_worker_rejects_bad_index(self, small_population, tmp_path):
+        from repro.crawler import ShardPlan
+        plan = ShardPlan.for_population(small_population, 2)
+        spec = WorkSpec.build(small_population, CrawlConfig(seed=SEED),
+                              plan, compress=False, keep_incomplete=False)
+        spec_path = spec.save(tmp_path)
+        with pytest.raises(CoordinationError, match="out of range"):
+            run_shard_worker(spec_path, 5)
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+class TestFingerprints:
+    def test_population_fingerprint_stable(self, small_population):
+        assert population_fingerprint(small_population) \
+            == population_fingerprint(
+                PopulationConfig(n_sites=N_SITES, seed=SEED))
+
+    def test_population_sites_change_fingerprint(self):
+        a = population_fingerprint(PopulationConfig(n_sites=10, seed=1))
+        b = population_fingerprint(PopulationConfig(n_sites=11, seed=1))
+        assert a != b
+
+    def test_config_fingerprint_ignores_shard_labels(self):
+        a = config_fingerprint(CrawlConfig(seed=1))
+        b = config_fingerprint(CrawlConfig(seed=1, shard_index=4,
+                                           shard_count=8))
+        assert a == b
+
+    def test_config_fingerprint_covers_guard_switches(self):
+        base = CrawlConfig(seed=1)
+        variants = [
+            CrawlConfig(seed=1, install_guard=True),
+            CrawlConfig(seed=1, install_guard=True, guard_uncloak_dns=True),
+            CrawlConfig(seed=1, interact=False),
+            CrawlConfig(seed=1, max_clicks=1),
+        ]
+        fingerprints = {config_fingerprint(c) for c in [base] + variants}
+        assert len(fingerprints) == len(variants) + 1
+
+
+# ---------------------------------------------------------------------------
+# The slow distributed determinism matrix (CI: determinism-matrix job)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+class TestDistributedMatrix:
+    """Backend × shard strategy × compression, all bit-identical."""
+
+    @pytest.mark.parametrize("backend_name",
+                             ["inprocess", "pool", "subprocess"])
+    @pytest.mark.parametrize("strategy", ["contiguous", "stride"])
+    @pytest.mark.parametrize("compress", [False, True],
+                             ids=["plain", "gzip"])
+    def test_full_matrix_matches_serial(self, small_population,
+                                        serial_stream, tmp_path,
+                                        backend_name, strategy, compress):
+        backend = make_backend(backend_name, jobs=2)
+        coordinator = Coordinator(small_population, CrawlConfig(seed=SEED),
+                                  backend=backend, strategy=strategy,
+                                  compress=compress)
+        report = coordinator.run(tmp_path / "out", n_shards=N_SHARDS)
+        assert report.executed_shards == N_SHARDS
+        assert _stream(load_logs(tmp_path / "out")) == serial_stream
+
+    @pytest.mark.parametrize("strategy", ["contiguous", "stride"])
+    def test_warm_cache_matches_serial_per_strategy(self, small_population,
+                                                    serial_stream, tmp_path,
+                                                    strategy):
+        store = ShardStore(tmp_path / "cache")
+        Coordinator(small_population, CrawlConfig(seed=SEED), store=store,
+                    strategy=strategy).run(tmp_path / "cold",
+                                           n_shards=N_SHARDS)
+        warm = Coordinator(small_population, CrawlConfig(seed=SEED),
+                           store=store, strategy=strategy)
+        report = warm.run(tmp_path / "warm", n_shards=N_SHARDS)
+        assert report.visits_executed == 0
+        assert _stream(load_logs(tmp_path / "warm")) == serial_stream

@@ -16,7 +16,9 @@ from repro.crawler import (
     load_logs,
     save_logs,
 )
-from repro.crawler.storage import MANIFEST_NAME, load_shard, shard_filename
+from repro.crawler.storage import (MANIFEST_NAME, compute_digest, load_shard,
+                                   shard_filename, verify_shard_files,
+                                   write_shard)
 
 
 def _stream(logs):
@@ -150,3 +152,76 @@ class TestManifestErrors:
     def test_shard_index_out_of_range(self, sharded_dir):
         with pytest.raises(ManifestError, match="out of range"):
             load_shard(sharded_dir, 11)
+
+    def test_gz_name_over_plain_bytes_names_the_shard(self, crawl_logs,
+                                                      tmp_path):
+        """Manifest says gzip, disk holds plain JSONL: ManifestError."""
+        directory = tmp_path / "crawl"
+        save_logs(crawl_logs, directory, shards=2, compress=True)
+        victim = directory / shard_filename(1, compress=True)
+        plain = "\n".join(json.dumps(log.to_dict())
+                          for log in crawl_logs[:1]) + "\n"
+        victim.write_text(plain)
+        with pytest.raises(ManifestError, match=r"shard 1 .*gzip JSONL"):
+            load_logs(directory)
+
+    def test_plain_name_over_gzip_bytes_names_the_shard(self, crawl_logs,
+                                                        tmp_path):
+        """Manifest says plain, disk holds gzip bytes: ManifestError."""
+        import gzip
+
+        directory = tmp_path / "crawl"
+        save_logs(crawl_logs, directory, shards=2)
+        victim = directory / shard_filename(0)
+        victim.write_bytes(gzip.compress(victim.read_bytes()))
+        with pytest.raises(ManifestError, match=r"shard 0 .*plain JSONL"):
+            load_logs(directory)
+
+
+class TestShardDigests:
+    def test_save_logs_records_digests(self, sharded_dir):
+        manifest = ShardManifest.load(sharded_dir)
+        assert len(manifest.digests) == manifest.n_shards
+        for index, name in enumerate(manifest.files):
+            assert manifest.digest_for(index) \
+                == compute_digest(sharded_dir / name)
+
+    def test_verify_shard_files_passes_clean_dataset(self, sharded_dir):
+        verify_shard_files(sharded_dir)
+
+    def test_verify_shard_files_catches_tampering(self, sharded_dir):
+        victim = sharded_dir / shard_filename(2)
+        victim.write_bytes(victim.read_bytes() + b"extra\n")
+        with pytest.raises(ManifestError, match="shard 2 .*hashes to"):
+            verify_shard_files(sharded_dir)
+
+    def test_verify_shard_files_catches_missing_file(self, sharded_dir):
+        (sharded_dir / shard_filename(1)).unlink()
+        with pytest.raises(ManifestError, match="missing shard"):
+            verify_shard_files(sharded_dir)
+
+    def test_digestless_manifest_still_loads(self, sharded_dir, crawl_logs):
+        """Datasets written before digests existed remain readable."""
+        manifest_path = sharded_dir / MANIFEST_NAME
+        data = json.loads(manifest_path.read_text())
+        for shard in data["shards"]:
+            shard.pop("sha256", None)
+        manifest_path.write_text(json.dumps(data))
+        manifest = ShardManifest.load(sharded_dir)
+        assert manifest.digests == ()
+        assert manifest.digest_for(0) is None
+        verify_shard_files(sharded_dir)    # existence-only check
+        assert len(load_logs(sharded_dir)) == len(crawl_logs)
+
+    @pytest.mark.parametrize("compress", [False, True],
+                             ids=["plain", "gzip"])
+    def test_write_shard_digest_is_pure_function_of_logs(self, crawl_logs,
+                                                         tmp_path, compress):
+        """Byte-determinism: same logs, same digest — even gzipped."""
+        first = write_shard(crawl_logs[:5], tmp_path / "a", 0,
+                            compress=compress)
+        second = write_shard(crawl_logs[:5], tmp_path / "b", 0,
+                             compress=compress)
+        assert first.sha256 == second.sha256
+        assert (tmp_path / "a" / first.name).read_bytes() \
+            == (tmp_path / "b" / second.name).read_bytes()
