@@ -1,9 +1,16 @@
-"""Shared crawl state for the benchmark harness.
+"""Shared crawl state for the pytest-benchmark files.
 
 Every bench regenerates one of the paper's tables or figures.  The crawl
 size defaults to a laptop-quick sample; set ``REPRO_SITES=20000`` to
 reproduce at the paper's full scale (see EXPERIMENTS.md for recorded
 full-scale numbers).
+
+The *perf* side of benchmarking (rates, medians, the committed
+``BENCH_*.json`` trajectory, regression gating) lives in ``repro.perf``
+(``python -m repro bench``); its scenario registry wraps the same
+crawl/analysis workloads these fixtures build.  Shared helpers like
+:func:`banner` are defined there once and re-exported here for the
+``from conftest import banner`` idiom the bench files use.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ import pytest
 from repro.analysis import Study
 from repro.crawler import CrawlConfig, Crawler
 from repro.ecosystem import PopulationConfig, generate_population
+from repro.perf import banner  # noqa: F401  — re-exported for bench_*.py
 
 N_SITES = int(os.environ.get("REPRO_SITES", "800"))
 SEED = int(os.environ.get("REPRO_SEED", "2025"))
@@ -33,8 +41,3 @@ def crawl_logs(population):
 @pytest.fixture(scope="session")
 def study(crawl_logs):
     return Study(crawl_logs)
-
-
-def banner(title: str, paper: str) -> None:
-    print(f"\n=== {title} ===")
-    print(f"paper reference: {paper}")

@@ -14,10 +14,22 @@ crawl [N] [OUT] [--jobs J] [--concurrency C] [--shards S] [--gzip]
     ``--backend``/``--cache-dir`` the crawl runs through the
     distributed coordinator (durable queue.jsonl, idempotent shard
     retry, content-addressed shard cache)
-crawl-shard SPEC INDEX
+crawl-shard SPEC INDEX [--cache-dir D]
     worker entrypoint for the distributed coordinator: execute shard
     INDEX of a ``workspec.json``, write its shard file next to the
-    spec, and print one JSON result line (file/count/sha256) on stdout
+    spec, and print one JSON result line (file/count/sha256) on stdout.
+    With ``--cache-dir`` the worker consults/backfills a shard cache on
+    its own side (keyed by the fingerprints the spec carries), so a
+    repeat shard costs zero visits
+bench [SCENARIO ...] [--quick] [--repeats R] [--warmup W] [--out F]
+      [--baseline F] [--compare F] [--tolerance T] [--list]
+    run the perf harness (``repro.perf``): registered scenarios with
+    warmup/repeat/medians, a machine-readable BENCH_*.json report, and
+    a regression gate.  ``--list`` prints the registry; positional
+    SCENARIO names restrict the run.  ``--baseline F`` embeds a prior
+    report's numbers (plus per-scenario speedups) into ``--out``;
+    ``--compare F`` exits non-zero when any scenario's rate drops more
+    than ``--tolerance`` (default 0.25) below the baseline's
 full [N] [OUT] [--jobs J] [--concurrency C] [--shards S]
     the complete paper reproduction in one shot
 
@@ -128,10 +140,76 @@ def _run_crawl(args: List[str]) -> None:
               f"(jobs={jobs}, concurrency={concurrency})")
 
 
+def _run_bench(args: List[str]) -> None:
+    """Run the perf harness; see ``repro.perf`` for the machinery."""
+    import platform
+
+    from .perf import (DEFAULT_TOLERANCE, build_report, compare_reports,
+                       current_commit, get_scenario, iter_scenarios,
+                       load_report, run_scenarios, write_report)
+
+    quick = pop_switch(args, "--quick")
+    list_only = pop_switch(args, "--list")
+    repeats = pop_int_flag(args, "--repeats", 5, minimum=1)
+    warmup = pop_int_flag(args, "--warmup", 1, minimum=0)
+    out = pop_flag(args, "--out")
+    baseline_path = pop_flag(args, "--baseline")
+    compare_path = pop_flag(args, "--compare")
+    tolerance_s = pop_flag(args, "--tolerance")
+    reject_unknown_flags(args)
+    try:
+        tolerance = (float(tolerance_s) if tolerance_s is not None
+                     else DEFAULT_TOLERANCE)
+    except ValueError:
+        print(f"--tolerance expects a number, got {tolerance_s!r}")
+        raise SystemExit(2)
+
+    if list_only:
+        for scn in iter_scenarios():
+            print(f"{scn.name:<24} [{scn.units}/s] {scn.description}")
+        return
+
+    names = args or None
+    if names:
+        try:
+            for name in names:
+                get_scenario(name)
+        except KeyError as exc:
+            print(f"bench: {exc.args[0]}")
+            raise SystemExit(2)
+    print(f"repro bench: python {platform.python_version()}, "
+          f"commit {current_commit()}, "
+          f"{'quick' if quick else 'full'} workloads, "
+          f"repeats={min(repeats, 3) if quick else repeats}, "
+          f"warmup={warmup}")
+    results = run_scenarios(names, warmup=warmup, repeats=repeats,
+                            quick=quick)
+    baseline = load_report(baseline_path) if baseline_path else None
+    report = build_report(results, baseline=baseline)
+    if baseline and report.get("speedup"):
+        for name, speedup in sorted(report["speedup"].items()):
+            print(f"  {name:<24} {speedup:10.2f}x vs baseline")
+    if out:
+        path = write_report(report, out)
+        print(f"wrote {path}")
+    if compare_path:
+        gate = load_report(compare_path)
+        regressions = compare_reports(report, gate, tolerance=tolerance)
+        if regressions:
+            for reg in regressions:
+                print(f"REGRESSION {reg.name}: {reg.current_rate:.1f}/s "
+                      f"vs baseline {reg.baseline_rate:.1f}/s "
+                      f"(-{reg.drop:.0%}, tolerance {tolerance:.0%})")
+            raise SystemExit(1)
+        print(f"regression gate passed "
+              f"(tolerance {tolerance:.0%} vs {compare_path})")
+
+
 def _run_crawl_shard(args: List[str]) -> None:
     """Distributed worker: one shard of a workspec, result JSON on stdout."""
     import json
 
+    cache_dir = pop_flag(args, "--cache-dir")
     reject_unknown_flags(args)
     if len(args) != 2:
         print("crawl-shard needs exactly: SPEC_PATH SHARD_INDEX")
@@ -142,7 +220,7 @@ def _run_crawl_shard(args: List[str]) -> None:
         print(f"crawl-shard INDEX expects an integer, got {args[1]!r}")
         raise SystemExit(2)
     from .crawler import run_shard_worker
-    result = run_shard_worker(args[0], index)
+    result = run_shard_worker(args[0], index, cache_dir=cache_dir)
     print(json.dumps(result, sort_keys=True))
 
 
@@ -160,6 +238,8 @@ def main(argv=None) -> None:
         _run_crawl(args)
     elif command == "crawl-shard":
         _run_crawl_shard(args)
+    elif command == "bench":
+        _run_bench(args)
     elif command == "full":
         from pathlib import Path
         script = Path(__file__).resolve().parents[2] / "scripts" / "full_scale_run.py"

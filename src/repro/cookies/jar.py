@@ -8,12 +8,21 @@ per-domain eviction limit real browsers enforce.
 The jar deliberately knows *nothing* about which script set a cookie —
 exactly the gap the paper identifies.  Creator attribution lives in the
 instrumentation extension and in CookieGuard's metadata store.
+
+Retrieval is domain-indexed: cookies are bucketed by their normalized
+domain, and ``cookies_for_url`` only inspects the buckets for the
+request host's dot-suffixes (the only domains RFC 6265 §5.1.3 can ever
+match), so a visibility check costs O(matching domains), not O(jar).
+The result — order included — is provably identical to the full scan:
+candidates are re-filtered by the same per-cookie predicate and
+re-ordered by insertion sequence before the RFC §5.4 sort, which is
+exactly the order the linear scan produced.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..net.url import URL
 from .cookie import Cookie, domain_match, parse_set_cookie, path_match
@@ -21,6 +30,8 @@ from .cookie import Cookie, domain_match, parse_set_cookie, path_match
 __all__ = ["CookieJar", "CookieChange", "MAX_COOKIES_PER_DOMAIN"]
 
 MAX_COOKIES_PER_DOMAIN = 180  # Chrome's per-eTLD+1 limit
+
+Key = Tuple[str, str, str]
 
 
 @dataclass(frozen=True)
@@ -32,11 +43,37 @@ class CookieChange:
     previous: Optional[Cookie] = None
 
 
+def _norm_domain(domain: str) -> str:
+    """The index key: the normalized form §5.1.3 domain-matching uses."""
+    return domain.lower().lstrip(".").rstrip(".")
+
+
+def _host_suffixes(host: str) -> Iterator[str]:
+    """``a.b.com`` → ``a.b.com``, ``b.com``, ``com``.
+
+    Exactly the candidate cookie domains domain_match() can accept for
+    ``host`` (equality or a dot-boundary suffix).
+    """
+    yield host
+    start = host.find(".")
+    while start != -1:
+        yield host[start + 1:]
+        start = host.find(".", start + 1)
+
+
 class CookieJar:
     """RFC 6265 cookie storage with change notifications."""
 
     def __init__(self) -> None:
-        self._store: Dict[Tuple[str, str, str], Cookie] = {}
+        self._store: Dict[Key, Cookie] = {}
+        #: normalized domain -> {key -> Cookie}; a bucketed view of
+        #: ``_store`` kept in lockstep by every mutation.
+        self._by_domain: Dict[str, Dict[Key, Cookie]] = {}
+        #: key -> monotonic insertion sequence; preserved on overwrite,
+        #: dropped on delete — mirrors dict insertion-order semantics so
+        #: indexed retrieval can reproduce full-scan ordering.
+        self._order: Dict[Key, int] = {}
+        self._seq = 0
         self._listeners: List[Callable[[CookieChange], None]] = []
 
     # -- listeners ------------------------------------------------------
@@ -46,6 +83,26 @@ class CookieJar:
     def _notify(self, change: CookieChange) -> None:
         for listener in list(self._listeners):
             listener(change)
+
+    # -- index maintenance ---------------------------------------------
+    def _index_put(self, cookie: Cookie) -> None:
+        key = cookie.key
+        if key not in self._order:
+            self._seq += 1
+            self._order[key] = self._seq
+        self._store[key] = cookie
+        self._by_domain.setdefault(_norm_domain(cookie.domain), {})[key] = cookie
+
+    def _index_drop(self, cookie: Cookie) -> None:
+        key = cookie.key
+        del self._store[key]
+        self._order.pop(key, None)
+        bucket_key = _norm_domain(cookie.domain)
+        bucket = self._by_domain.get(bucket_key)
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del self._by_domain[bucket_key]
 
     # -- storage --------------------------------------------------------
     def set(self, cookie: Cookie, now: float = 0.0) -> Optional[CookieChange]:
@@ -61,18 +118,23 @@ class CookieJar:
         if cookie.is_expired(now):
             if previous is None:
                 return None
-            del self._store[key]
+            self._index_drop(previous)
             change = CookieChange("delete", cookie, previous=previous)
             self._notify(change)
             return change
         if previous is not None:
             # Preserve the original creation time on replacement
             # (RFC 6265 §5.3 step 11.3).
-            cookie = replace(cookie, creation_time=previous.creation_time)
+            if cookie.creation_time != previous.creation_time:
+                clone = object.__new__(Cookie)
+                clone.__dict__.update(cookie.__dict__)
+                object.__setattr__(clone, "creation_time",
+                                   previous.creation_time)
+                cookie = clone
             kind = "overwrite"
         else:
             kind = "set"
-        self._store[key] = cookie
+        self._index_put(cookie)
         self._evict_domain(cookie.domain, now)
         change = CookieChange(kind, cookie, previous=previous)
         self._notify(change)
@@ -99,30 +161,51 @@ class CookieJar:
         previous = self._store.get(key)
         if previous is None:
             return None
-        del self._store[key]
+        self._index_drop(previous)
         change = CookieChange("delete", previous, previous=previous)
         self._notify(change)
         return change
 
     def _evict_domain(self, domain: str, now: float) -> None:
-        same = [c for c in self._store.values() if c.domain == domain]
+        bucket = self._by_domain.get(_norm_domain(domain))
+        if bucket is None or len(bucket) <= MAX_COOKIES_PER_DOMAIN:
+            return
+        same = [c for c in bucket.values() if c.domain == domain]
         if len(same) <= MAX_COOKIES_PER_DOMAIN:
             return
         # Evict least-recently-accessed first, like Chrome.
         same.sort(key=lambda c: (c.last_access_time, c.creation_time))
         for victim in same[: len(same) - MAX_COOKIES_PER_DOMAIN]:
-            del self._store[victim.key]
+            self._index_drop(victim)
             self._notify(CookieChange("evict", victim, previous=victim))
 
     def purge_expired(self, now: float) -> int:
         """Drop expired cookies; returns how many were removed."""
         expired = [c for c in self._store.values() if c.is_expired(now)]
         for cookie in expired:
-            del self._store[cookie.key]
+            self._index_drop(cookie)
             self._notify(CookieChange("expire", cookie, previous=cookie))
         return len(expired)
 
     # -- retrieval ------------------------------------------------------
+    def _candidates(self, host: str) -> List[Cookie]:
+        """Cookies whose domain could match ``host``, in store order.
+
+        A strict superset pre-filter: every cookie the full scan could
+        match lives in one of the host's suffix buckets, so the
+        per-cookie predicate downstream sees the same population.
+        """
+        found: List[Cookie] = []
+        by_domain = self._by_domain
+        for suffix in _host_suffixes(host):
+            bucket = by_domain.get(suffix)
+            if bucket:
+                found.extend(bucket.values())
+        if len(found) > 1:
+            order = self._order
+            found.sort(key=lambda c: order[c.key])
+        return found
+
     def cookies_for_url(self, url: URL, *, now: float = 0.0,
                         include_http_only: bool = True,
                         touch: bool = True) -> List[Cookie]:
@@ -131,26 +214,34 @@ class CookieJar:
         Results are sorted per RFC 6265 §5.4: longer paths first, then
         earlier creation times.
         """
+        host_lower = url.host.lower()
+        url_path = url.path
+        url_secure = url.is_secure
         matches: List[Cookie] = []
-        for cookie in list(self._store.values()):
+        for cookie in self._candidates(host_lower.rstrip(".")):
             if cookie.is_expired(now):
                 continue
             if cookie.host_only:
-                if url.host.lower() != cookie.domain:
+                if host_lower != cookie.domain:
                     continue
-            elif not domain_match(url.host, cookie.domain):
+            elif not domain_match(host_lower, cookie.domain):
                 continue
-            if not path_match(url.path, cookie.path):
+            if not path_match(url_path, cookie.path):
                 continue
-            if cookie.secure and not url.is_secure:
+            if cookie.secure and not url_secure:
                 continue
             if cookie.http_only and not include_http_only:
                 continue
             matches.append(cookie)
         matches.sort(key=lambda c: (-len(c.path), c.creation_time))
         if touch:
-            for cookie in matches:
-                self._store[cookie.key] = cookie.touched(now)
+            for index, cookie in enumerate(matches):
+                if cookie.last_access_time != now:
+                    touched = cookie.touched(now)
+                    self._store[cookie.key] = touched
+                    self._by_domain[_norm_domain(cookie.domain)][cookie.key] \
+                        = touched
+                    matches[index] = touched
         return matches
 
     def script_visible(self, url: URL, now: float = 0.0) -> List[Cookie]:
@@ -170,8 +261,10 @@ class CookieJar:
     def __len__(self) -> int:
         return len(self._store)
 
-    def __contains__(self, key: Tuple[str, str, str]) -> bool:
+    def __contains__(self, key: Key) -> bool:
         return key in self._store
 
     def clear(self) -> None:
         self._store.clear()
+        self._by_domain.clear()
+        self._order.clear()

@@ -64,9 +64,9 @@ from ..ecosystem.population import Population, PopulationConfig
 from .crawler import CrawlConfig, Crawler, config_fingerprint
 from .parallel import (CrawlProgress, Shard, ShardPlan, derive_shard_config,
                        _init_worker, _WORKER)
-from .storage import (ManifestError, ShardManifest, ShardWriteResult,
-                      compute_digest, shard_filename, verify_shard_files,
-                      write_shard)
+from .storage import (ManifestError, SHARD_FORMAT_VERSION, ShardManifest,
+                      ShardWriteResult, compute_digest, shard_filename,
+                      verify_shard_files, write_shard)
 
 __all__ = [
     "CoordinationError",
@@ -75,6 +75,7 @@ __all__ = [
     "FAULT_ONCE_ENV",
     "InProcessBackend",
     "ProcessPoolBackend",
+    "ShardKeyFactory",
     "ShardOutcome",
     "ShardStore",
     "ShardTask",
@@ -89,7 +90,11 @@ __all__ = [
 
 QUEUE_NAME = "queue.jsonl"
 WORKSPEC_NAME = "workspec.json"
-QUEUE_VERSION = 1
+#: Version 2: shard files switched to compact JSON separators (PR 5),
+#: so digests recorded by version-1 journals can never be reproduced by
+#: a retry — loading such a queue must refuse up front rather than
+#: fail later with a misleading "determinism contract broken" error.
+QUEUE_VERSION = 2
 
 #: Test-only hook: a directory path; each shard worker crashes once.
 FAULT_ONCE_ENV = "REPRO_FAULT_ONCE_DIR"
@@ -124,11 +129,49 @@ def population_fingerprint(population: Union[Population,
     return hashlib.sha256(blob).hexdigest()
 
 
+class ShardKeyFactory:
+    """Precomputed shard-key maker for one (population, config, compress).
+
+    The cache key hashes a canonical JSON payload.  Within one plan only
+    the ranks vary shard to shard, so the factory serializes the fixed
+    fields once into a prefix and completes each key with the ranks
+    list — divide-and-conquer precomputation instead of rebuilding and
+    re-sorting the whole payload per shard.  Keys are byte-identical to
+    :func:`_shard_key` (locked in by the equivalence tests).
+
+    The payload includes :data:`~repro.crawler.storage.
+    SHARD_FORMAT_VERSION`: shard bytes are a function of the serializer
+    too, so entries written by an older serializer miss (and re-crawl)
+    rather than smuggling old-format bytes — and their unreproducible
+    digests — into a newer run's journal and manifest.
+    """
+
+    def __init__(self, population_fp: str, config_fp: str, compress: bool):
+        self.population_fp = population_fp
+        self.config_fp = config_fp
+        self.compress = bool(compress)
+        # json.dumps(payload, sort_keys=True) orders the keys
+        # compress < config < format < population < ranks; everything
+        # up to the ranks value is constant across the plan.
+        self._prefix = (
+            f'{{"compress": {json.dumps(self.compress)}, '
+            f'"config": {json.dumps(config_fp)}, '
+            f'"format": {SHARD_FORMAT_VERSION}, '
+            f'"population": {json.dumps(population_fp)}, '
+            f'"ranks": '
+        )
+
+    def key_for(self, ranks: Sequence[int]) -> str:
+        blob = (self._prefix + json.dumps(list(ranks)) + "}").encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+
 def _shard_key(population_fp: str, config_fp: str, ranks: Sequence[int],
                compress: bool) -> str:
     payload = {
         "population": population_fp,
         "config": config_fp,
+        "format": SHARD_FORMAT_VERSION,
         "ranks": list(ranks),
         "compress": bool(compress),
     }
@@ -213,11 +256,17 @@ class WorkSpec:
     shards: Tuple[Tuple[int, ...], ...]   # ranks per shard index
     compress: bool = False
     keep_incomplete: bool = False
+    #: Fingerprints computed once per plan by the coordinator and
+    #: threaded through, so workers (and anything that keys the shard
+    #: cache from a spec) never re-hash the population/config payloads.
+    population_fp: Optional[str] = None
+    config_fp: Optional[str] = None
 
     @classmethod
     def build(cls, population: Population, config: CrawlConfig,
-              plan: ShardPlan, compress: bool,
-              keep_incomplete: bool) -> "WorkSpec":
+              plan: ShardPlan, compress: bool, keep_incomplete: bool,
+              population_fp: Optional[str] = None,
+              config_fp: Optional[str] = None) -> "WorkSpec":
         return cls(
             population=json.loads(json.dumps(
                 dataclasses.asdict(population.config), default=list)),
@@ -225,10 +274,21 @@ class WorkSpec:
             shards=tuple(tuple(shard.ranks) for shard in plan),
             compress=compress,
             keep_incomplete=keep_incomplete,
+            population_fp=population_fp,
+            config_fp=config_fp,
         )
 
+    def key_factory(self) -> ShardKeyFactory:
+        """Shard-cache keys for this spec's plan (fingerprints reused
+        when the coordinator recorded them, recomputed otherwise)."""
+        population_fp = self.population_fp or population_fingerprint(
+            _population_config_from_dict(self.population))
+        config_fp = self.config_fp or config_fingerprint(
+            _config_from_dict(self.config))
+        return ShardKeyFactory(population_fp, config_fp, self.compress)
+
     def to_dict(self) -> Dict:
-        return {
+        out = {
             "version": QUEUE_VERSION,
             "population": self.population,
             "config": self.config,
@@ -236,6 +296,11 @@ class WorkSpec:
             "compress": self.compress,
             "keep_incomplete": self.keep_incomplete,
         }
+        if self.population_fp is not None:
+            out["population_fp"] = self.population_fp
+        if self.config_fp is not None:
+            out["config_fp"] = self.config_fp
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict) -> "WorkSpec":
@@ -246,6 +311,8 @@ class WorkSpec:
                          for ranks in data["shards"]),
             compress=bool(data["compress"]),
             keep_incomplete=bool(data.get("keep_incomplete", False)),
+            population_fp=data.get("population_fp"),
+            config_fp=data.get("config_fp"),
         )
 
     def save(self, directory: Union[str, Path]) -> Path:
@@ -350,7 +417,10 @@ class WorkQueue:
                 if event == "plan":
                     if int(record["version"]) != QUEUE_VERSION:
                         raise CoordinationError(
-                            f"unsupported queue version {record['version']}")
+                            f"unsupported queue version {record['version']} "
+                            f"(expected {QUEUE_VERSION}; shard bytes from "
+                            f"older versions are not reproducible — "
+                            f"re-crawl into a fresh directory)")
                     run_key = str(record["run_key"])
                     n_shards = int(record["n_shards"])
                 elif event == "task":
@@ -462,12 +532,20 @@ def _execute_shard(population: Population, config: CrawlConfig,
 
 
 def run_shard_worker(spec_path: Union[str, Path], index: int,
-                     out_dir: Optional[Union[str, Path]] = None) -> Dict:
+                     out_dir: Optional[Union[str, Path]] = None,
+                     cache_dir: Optional[Union[str, Path]] = None) -> Dict:
     """The ``python -m repro crawl-shard`` worker body.
 
     Reads the :class:`WorkSpec`, regenerates the population, crawls the
     shard, writes the shard file next to the spec (or into ``out_dir``),
     and returns the result record the CLI prints as one JSON line.
+
+    With ``cache_dir`` the worker consults (and backfills) a
+    :class:`ShardStore` *on its side of the protocol* — keyed via
+    :meth:`WorkSpec.key_factory`, so a spec carrying the coordinator's
+    fingerprints never re-hashes the population/config payloads.  A
+    remote worker sharing a cache volume can then satisfy repeat shards
+    with zero visits while speaking the exact same result protocol.
     """
     spec_path = Path(spec_path)
     spec = WorkSpec.load(spec_path)
@@ -482,14 +560,25 @@ def run_shard_worker(spec_path: Union[str, Path], index: int,
             marker.touch()
             # Simulate a killed worker: no result line, hard non-zero exit.
             os._exit(3)
+    target = Path(out_dir) if out_dir is not None else spec_path.parent
+    store = key = None
+    if cache_dir is not None:
+        store = ShardStore(cache_dir)
+        key = spec.key_factory().key_for(spec.shards[index])
+        cached = store.fetch(key, target, index)
+        if cached is not None:
+            return {"index": index, "file": cached.name,
+                    "count": cached.count, "sha256": cached.sha256}
     from ..ecosystem.population import generate_population
     population = generate_population(
         _population_config_from_dict(spec.population))
     config = _config_from_dict(spec.config)
-    target = Path(out_dir) if out_dir is not None else spec_path.parent
     written = _execute_shard(population, config, spec.shards[index], index,
                              len(spec.shards), target, spec.compress,
                              spec.keep_incomplete)
+    if store is not None and key is not None:
+        store.put(key, target / written.name, written.count, spec.compress,
+                  sha256=written.sha256)
     return {"index": index, "file": written.name, "count": written.count,
             "sha256": written.sha256}
 
@@ -880,8 +969,14 @@ class Coordinator:
         self.keep_incomplete = keep_incomplete
         self.strategy = strategy
         self.progress = progress
+        # Both fingerprints are computed exactly once per coordinator
+        # (they hash the full population/config payloads); every shard
+        # key derives from the precomputed factory, and the workspec
+        # carries the fingerprints to workers verbatim.
         self.population_fp = population_fingerprint(population)
         self.config_fp = config_fingerprint(self.config)
+        self._key_factory = ShardKeyFactory(self.population_fp,
+                                            self.config_fp, self.compress)
 
     # ------------------------------------------------------------------
     def plan(self, n_shards: int) -> ShardPlan:
@@ -900,8 +995,11 @@ class Coordinator:
         return hashlib.sha256(blob).hexdigest()
 
     def _key_for(self, task: ShardTask) -> str:
-        return ShardStore.shard_key(self.population_fp, self.config_fp,
-                                    task.ranks, self.compress)
+        # No memo here on purpose: a second run() can use a different
+        # plan, and shard *index* does not identify shard *ranks*
+        # across plans.  The factory's precomputed prefix already makes
+        # each key one small json.dumps + sha256.
+        return self._key_factory.key_for(task.ranks)
 
     # ------------------------------------------------------------------
     def run(self, out_dir: Union[str, Path],
@@ -996,7 +1094,9 @@ class Coordinator:
                           keep_incomplete=self.keep_incomplete)
         if isinstance(self.backend, SubprocessBackend):
             spec = WorkSpec.build(self.population, self.config, plan,
-                                  self.compress, self.keep_incomplete)
+                                  self.compress, self.keep_incomplete,
+                                  population_fp=self.population_fp,
+                                  config_fp=self.config_fp)
             ctx.spec_path = spec.save(out_dir)
         while True:
             todo = queue.unfinished()

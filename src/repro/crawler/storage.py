@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import gzip
 import hashlib
-import io
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
@@ -28,6 +28,7 @@ from .logs import VisitLog
 __all__ = [
     "CrawlDataset",
     "ManifestError",
+    "SHARD_FORMAT_VERSION",
     "ShardManifest",
     "ShardWriteResult",
     "compute_digest",
@@ -42,37 +43,42 @@ __all__ = [
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
 
+#: Version of the shard *byte* format.  Bumped whenever the serializer
+#: changes the bytes it emits for the same logs (v2: compact JSON
+#: separators) — it is part of the shard-cache key, so entries written
+#: by an older serializer can never be mixed into a newer run.
+SHARD_FORMAT_VERSION = 2
+
 
 class ManifestError(ValueError):
     """A sharded dataset's manifest is missing, malformed, or stale."""
 
 
-class _DeterministicGzipWriter(gzip.GzipFile):
-    """Gzip writer with a zeroed header (no mtime, no filename).
+class _Sha256Tee:
+    """Binary sink that feeds every written chunk through a SHA-256.
 
-    Plain ``gzip.open`` stamps the current time into the member header,
-    so two byte-identical log streams would compress to *different*
-    files.  Shard digests (and the distributed coordinator's retry
-    verification) need the compressed bytes to be a pure function of
-    the content, so shard files are always written through this.
+    Writing a shard and digesting it used to be two passes (write, then
+    re-read the file); the tee digests the on-disk bytes chunk by chunk
+    as they stream out, so the digest is free by the time the file is
+    closed.  For gzip shards the tee sits *under* the compressor — the
+    digest covers the compressed bytes, same as :func:`compute_digest`.
     """
 
-    def __init__(self, path: Path):
-        self._raw = open(path, "wb")
-        super().__init__(filename="", mode="wb", fileobj=self._raw, mtime=0)
+    def __init__(self, raw):
+        self._raw = raw
+        self.sha = hashlib.sha256()
 
-    def close(self) -> None:
-        try:
-            super().close()
-        finally:
-            self._raw.close()
+    def write(self, data) -> int:
+        self.sha.update(data)
+        return self._raw.write(data)
+
+    def flush(self) -> None:
+        self._raw.flush()
 
 
 def _open(path: Path, mode: str):
+    """Open a dataset file for *reading* (writes go via ``_write_shard``)."""
     if path.suffix == ".gz":
-        if "w" in mode:
-            return io.TextIOWrapper(_DeterministicGzipWriter(path),
-                                    encoding="utf-8")
         return gzip.open(path, mode + "t", encoding="utf-8")
     return open(path, mode, encoding="utf-8")
 
@@ -178,9 +184,19 @@ class ShardManifest:
         return manifest
 
     def save(self, directory: Union[str, Path]) -> Path:
+        """Write ``manifest.json`` atomically (temp file + ``os.replace``).
+
+        The manifest is the index a resuming coordinator trusts; an
+        in-place write interrupted by a crash could leave a torn file
+        that neither loads nor signals "no manifest yet".  With the
+        rename, readers see either the old complete manifest or the new
+        one, never a prefix.
+        """
         path = Path(directory) / MANIFEST_NAME
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n",
-                        encoding="utf-8")
+        tmp = path.with_name(MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2) + "\n",
+                       encoding="utf-8")
+        os.replace(tmp, path)
         return path
 
     @classmethod
@@ -208,13 +224,43 @@ class ShardWriteResult:
     sha256: str
 
 
-def _write_shard(logs: Iterable[VisitLog], path: Path) -> int:
+#: Serialized log lines buffered between writes; bounds per-write call
+#: overhead without holding a whole shard in memory.
+_WRITE_CHUNK_LINES = 512
+
+
+def _write_shard(logs: Iterable[VisitLog], path: Path) -> "ShardWriteResult":
+    """Stream logs to ``path`` as compact JSONL; returns count + digest.
+
+    One serialization pass: compact separators (no cosmetic spaces —
+    ~10% fewer bytes per line), lines batched into single buffered
+    writes, and the on-disk bytes digested as they stream through the
+    :class:`_Sha256Tee` (no second read-back pass).  Gzip members are
+    written with a zeroed header (no mtime, no filename) so compressed
+    bytes stay a pure function of the content — the determinism the
+    distributed coordinator's retry verification leans on.
+    """
     count = 0
-    with _open(path, "w") as handle:
-        for log in logs:
-            handle.write(json.dumps(log.to_dict()) + "\n")
-            count += 1
-    return count
+    buf: List[str] = []
+    dumps = json.dumps
+    with open(path, "wb") as raw:
+        tee = _Sha256Tee(raw)
+        out = (gzip.GzipFile(filename="", mode="wb", fileobj=tee, mtime=0)
+               if path.suffix == ".gz" else tee)
+        try:
+            for log in logs:
+                buf.append(dumps(log.to_dict(), separators=(",", ":")))
+                count += 1
+                if len(buf) >= _WRITE_CHUNK_LINES:
+                    out.write(("\n".join(buf) + "\n").encode("utf-8"))
+                    buf.clear()
+            if buf:
+                out.write(("\n".join(buf) + "\n").encode("utf-8"))
+        finally:
+            if out is not tee:
+                out.close()
+    return ShardWriteResult(name=path.name, count=count,
+                            sha256=tee.sha.hexdigest())
 
 
 def write_shard(logs: Iterable[VisitLog], directory: Union[str, Path],
@@ -229,10 +275,7 @@ def write_shard(logs: Iterable[VisitLog], directory: Union[str, Path],
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     name = shard_filename(index, compress)
-    path = directory / name
-    count = _write_shard(logs, path)
-    return ShardWriteResult(name=name, count=count,
-                            sha256=compute_digest(path))
+    return _write_shard(logs, directory / name)
 
 
 def save_shard(logs: Iterable[VisitLog], directory: Union[str, Path],
@@ -253,7 +296,7 @@ def save_logs(logs: Iterable[VisitLog], path: Union[str, Path],
     """
     path = Path(path)
     if shards is None and not path.is_dir():
-        return _write_shard(logs, path)
+        return _write_shard(logs, path).count
 
     n_shards = max(int(shards or 1), 1)
     logs = list(logs)

@@ -19,6 +19,7 @@ The *registrable domain* (eTLD+1) is the public suffix plus one extra label.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Optional, Tuple
 
 __all__ = [
@@ -81,9 +82,18 @@ class PublicSuffixList:
     rules:
         Iterable of rule strings.  ``*`` labels are wildcards and a leading
         ``!`` marks an exception rule.
+    cache_size:
+        Bound of the per-instance memo tables.  Every cookie operation in
+        the crawl funnels through ``public_suffix``/``registrable_domain``
+        over a small working set of hosts, so a bounded LRU in front of
+        the matching algorithm turns the hot path into a dict hit.  The
+        uncached algorithm stays available as
+        ``public_suffix_uncached``/``registrable_domain_uncached`` (the
+        reference implementations the property tests compare against).
     """
 
-    def __init__(self, rules: Iterable[str] = _DEFAULT_RULES):
+    def __init__(self, rules: Iterable[str] = _DEFAULT_RULES,
+                 cache_size: int = 4096):
         self._exact: set = set()
         self._wildcard: set = set()  # parent suffixes of "*." rules
         self._exception: set = set()
@@ -97,6 +107,13 @@ class PublicSuffixList:
                 self._wildcard.add(rule[2:])
             else:
                 self._exact.add(rule)
+        # Per-instance bounded memo over *normalized* hosts.  The rule
+        # sets are immutable after construction, so entries never go
+        # stale; lru_cache bounds memory on adversarial host streams.
+        self._suffix_cached = lru_cache(maxsize=cache_size)(
+            self._public_suffix_normalized)
+        self._domain_cached = lru_cache(maxsize=cache_size)(
+            self._registrable_domain_normalized)
 
     # ------------------------------------------------------------------
     def _normalize(self, host: str) -> str:
@@ -105,20 +122,48 @@ class PublicSuffixList:
             host = host.lstrip(".")
         return host
 
-    def is_ip(self, host: str) -> bool:
-        """Return True for IPv4/IPv6 literals, which have no suffix."""
-        host = self._normalize(host)
+    @staticmethod
+    def _is_ip_normalized(host: str) -> bool:
+        """IP check over an already-normalized host."""
         if host.startswith("[") and host.endswith("]"):
             return True
         if ":" in host:
             return True
         parts = host.split(".")
-        return len(parts) == 4 and all(p.isdigit() and int(p) <= 255 for p in parts)
+        if len(parts) != 4:
+            return False
+        # Bound the digit run before int(): a 300-digit label is a
+        # hostname oddity, not an IPv4 octet, and must not cost a
+        # big-int conversion.  Leading zeros are stripped first so
+        # zero-padded octets ("0255") keep their historical semantics.
+        for p in parts:
+            if not p.isdigit():
+                return False
+            stripped = p.lstrip("0")
+            if len(stripped) > 3 or int(stripped or "0") > 255:
+                return False
+        return True
+
+    def is_ip(self, host: str) -> bool:
+        """Return True for IPv4/IPv6 literals, which have no suffix."""
+        return self._is_ip_normalized(self._normalize(host))
 
     def public_suffix(self, host: str) -> Optional[str]:
         """Return the public suffix of ``host`` or None for IPs/empty."""
         host = self._normalize(host)
-        if not host or self.is_ip(host):
+        if not host:
+            return None
+        return self._suffix_cached(host)
+
+    def public_suffix_uncached(self, host: str) -> Optional[str]:
+        """Reference implementation: the full algorithm, no memo."""
+        host = self._normalize(host)
+        if not host:
+            return None
+        return self._public_suffix_normalized(host)
+
+    def _public_suffix_normalized(self, host: str) -> Optional[str]:
+        if self._is_ip_normalized(host):
             return None
         labels = _labels(host)
         best_len = 0
@@ -146,13 +191,25 @@ class PublicSuffixList:
 
         Returns None for IP literals, empty hosts, and hosts that *are* a
         bare public suffix (there is no +1 label to take).
+
+        (IP literals return themselves: each IP is its own "domain".)
         """
         host = self._normalize(host)
         if not host:
             return None
-        if self.is_ip(host):
+        return self._domain_cached(host)
+
+    def registrable_domain_uncached(self, host: str) -> Optional[str]:
+        """Reference implementation: the full algorithm, no memo."""
+        host = self._normalize(host)
+        if not host:
+            return None
+        return self._registrable_domain_normalized(host)
+
+    def _registrable_domain_normalized(self, host: str) -> Optional[str]:
+        if self._is_ip_normalized(host):
             return host  # treat IP literals as their own "domain"
-        suffix = self.public_suffix(host)
+        suffix = self._public_suffix_normalized(host)
         if suffix is None:
             return None
         if host == suffix:

@@ -8,6 +8,7 @@ the same main-frame origin).  This module provides both notions.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from .psl import DEFAULT_PSL, PublicSuffixList
@@ -15,6 +16,19 @@ from .psl import DEFAULT_PSL, PublicSuffixList
 __all__ = ["URL", "Origin", "parse_url", "parse_qs", "encode_qs"]
 
 _DEFAULT_PORTS = {"http": 80, "https": 443, "ws": 80, "wss": 443}
+
+
+@lru_cache(maxsize=1024)
+def _intern_origin(scheme: str, host: str, port: int) -> "Origin":
+    """Intern non-opaque origins.
+
+    A crawl touches the same handful of origins thousands of times per
+    visit (every request, cookie check, and attribution re-derives one);
+    :class:`Origin` is frozen, so sharing one instance per triple is
+    safe and makes ``URL.origin`` a cache hit.  Opaque origins are never
+    interned — each stands alone, mirroring browser semantics.
+    """
+    return Origin(scheme, host, port)
 
 
 @dataclass(frozen=True)
@@ -92,7 +106,7 @@ class URL:
     def origin(self) -> Origin:
         if self.scheme in ("data", "about", "javascript"):
             return Origin.opaque()
-        return Origin(self.scheme, self.host, self.port)
+        return _intern_origin(self.scheme, self.host, self.port)
 
     @property
     def is_secure(self) -> bool:
@@ -130,6 +144,11 @@ def parse_url(raw: str, base: Optional[URL] = None) -> URL:
 
     Supports absolute URLs, scheme-relative (``//host/path``) and
     path-relative references when ``base`` is given.
+
+    Absolute parses are served from a bounded LRU: the crawl re-parses
+    the same script/collect/beacon URLs on every request, and
+    :class:`URL` is frozen, so one shared instance per string is safe.
+    Relative references resolve against ``base`` and are not cached.
     """
 
     raw = raw.strip()
@@ -139,8 +158,8 @@ def parse_url(raw: str, base: Optional[URL] = None) -> URL:
     if raw.startswith("//"):
         if base is None:
             raise URLParseError(f"scheme-relative URL without base: {raw!r}")
-        raw = f"{base.scheme}:{raw}"
-    elif "://" not in raw:
+        return _parse_absolute(f"{base.scheme}:{raw}")
+    if "://" not in raw:
         if base is None:
             raise URLParseError(f"relative URL without base: {raw!r}")
         if raw.startswith("/"):
@@ -152,7 +171,18 @@ def parse_url(raw: str, base: Optional[URL] = None) -> URL:
         path, _, rest = raw.partition("?")
         query, _, fragment = rest.partition("#")
         return URL(base.scheme, base.host, base.port, f"{directory}/{path}", query, fragment)
+    return _parse_absolute(raw)
 
+
+@lru_cache(maxsize=4096)
+def _parse_absolute(raw: str) -> URL:
+    """Parse an absolute URL string (the cacheable case).
+
+    ``raw`` is already stripped and contains ``://``; failures raise
+    :class:`URLParseError` (exceptions are never cached by
+    ``lru_cache``, so bad inputs stay cheap to re-reject only in the
+    sense that they re-run this function).
+    """
     scheme, _, rest = raw.partition("://")
     scheme = scheme.lower()
     if not scheme.isalnum() and not all(c.isalnum() or c in "+-." for c in scheme):

@@ -1,0 +1,48 @@
+"""``repro.perf`` — the benchmark harness and its scenario registry.
+
+Entry points:
+
+* ``python -m repro bench`` — run scenarios, print rates, write a
+  ``BENCH_*.json`` report, optionally gate against a baseline
+  (``--compare BASELINE.json --tolerance 0.25``).
+* :func:`repro.perf.run_scenarios` / :func:`repro.perf.compare_reports`
+  — the same machinery as a library.
+
+The committed ``BENCH_*.json`` files at the repo root record the perf
+trajectory PR over PR; ``benchmarks/README.md`` documents the schema
+and how to add a scenario.
+"""
+
+from .harness import (
+    BenchResult,
+    DEFAULT_TOLERANCE,
+    Regression,
+    Scenario,
+    banner,
+    build_report,
+    compare_reports,
+    current_commit,
+    get_scenario,
+    iter_scenarios,
+    load_report,
+    register,
+    run_scenarios,
+    write_report,
+)
+
+__all__ = [
+    "BenchResult",
+    "DEFAULT_TOLERANCE",
+    "Regression",
+    "Scenario",
+    "banner",
+    "build_report",
+    "compare_reports",
+    "current_commit",
+    "get_scenario",
+    "iter_scenarios",
+    "load_report",
+    "register",
+    "run_scenarios",
+    "write_report",
+]

@@ -1,0 +1,314 @@
+"""The benchmark harness: scenario registry, runner, and comparator.
+
+``python -m repro bench`` runs every registered :class:`Scenario` with
+warmup + repeats, keeps the **median** wall time per scenario, and emits
+a machine-readable report (the ``BENCH_*.json`` trajectory files
+committed at the repo root).  The report schema, per scenario::
+
+    {"visits_per_sec": float,   # units processed per second (median run)
+     "wall_s": float,           # median wall-clock seconds of one run
+     "repeats": int,            # timed runs the median was taken over
+     "python": "3.11.7",        # interpreter that produced the number
+     "commit": "abc1234"}       # git HEAD at run time ("unknown" outside git)
+
+``visits_per_sec`` is the one comparable rate: for crawl scenarios it is
+literally site visits per second; micro-scenarios report their own op
+count per second under the same key so one comparator covers both.
+
+:func:`compare_reports` is the regression gate: a scenario regresses
+when its rate drops below ``baseline * (1 - tolerance)``.  Rates are
+machine-dependent, so gate against a baseline recorded on comparable
+hardware (CI compares runner against runner-recorded numbers loosely,
+with the wide default tolerance).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "BenchResult",
+    "Scenario",
+    "banner",
+    "compare_reports",
+    "current_commit",
+    "get_scenario",
+    "iter_scenarios",
+    "load_report",
+    "register",
+    "run_scenarios",
+    "scenario",
+    "write_report",
+]
+
+REPORT_VERSION = 1
+
+#: Default regression tolerance for :func:`compare_reports` — a scenario
+#: fails the gate when its rate drops more than this fraction below the
+#: baseline.
+DEFAULT_TOLERANCE = 0.25
+
+
+def banner(title: str, paper: str) -> None:
+    """One shared header printer for benchmarks and perf scenarios.
+
+    Historically copy-pasted/imported ad hoc by every ``bench_*.py``;
+    the harness is now its canonical home (``benchmarks/conftest.py``
+    re-exports it for the pytest-benchmark files).
+    """
+    print(f"\n=== {title} ===")
+    print(f"paper reference: {paper}")
+
+
+# ---------------------------------------------------------------------------
+# Scenario registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered benchmark workload.
+
+    ``setup()`` builds the (unmeasured) input state once per bench run;
+    ``run(state)`` executes one timed repetition and returns the number
+    of units it processed (visits, parses, jar reads …) so the harness
+    can report a rate.  ``quick_setup`` — when given — is the smaller
+    workload ``--quick`` (CI's perf-smoke) uses.
+    """
+
+    name: str
+    description: str
+    setup: Callable[[], object]
+    run: Callable[[object], int]
+    quick_setup: Optional[Callable[[], object]] = None
+    units: str = "visits"
+
+    def build_state(self, quick: bool = False) -> object:
+        if quick and self.quick_setup is not None:
+            return self.quick_setup()
+        return self.setup()
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register(scn: Scenario) -> Scenario:
+    """Add a scenario to the global registry (name collision = error)."""
+    if scn.name in _REGISTRY:
+        raise ValueError(f"duplicate scenario {scn.name!r}")
+    _REGISTRY[scn.name] = scn
+    return scn
+
+
+def scenario(name: str, description: str, *, units: str = "visits",
+             quick_setup: Optional[Callable[[], object]] = None):
+    """Decorator form: the decorated callable is ``run``; pass ``setup``
+    via the returned scenario's closure — see ``scenarios.py`` for the
+    idiomatic two-function registration."""
+    def wrap(builder: Callable[[], Tuple[Callable[[], object],
+                                         Callable[[object], int]]]):
+        setup, run = builder()
+        register(Scenario(name=name, description=description, setup=setup,
+                          run=run, quick_setup=quick_setup, units=units))
+        return builder
+    return wrap
+
+
+def iter_scenarios() -> List[Scenario]:
+    _ensure_builtin()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def get_scenario(name: str) -> Scenario:
+    _ensure_builtin()
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})")
+    return _REGISTRY[name]
+
+
+def _ensure_builtin() -> None:
+    # Import-time registration of the built-in scenarios; deferred so
+    # importing the harness never drags the crawler in.
+    from . import scenarios  # noqa: F401  (import registers)
+
+
+# ---------------------------------------------------------------------------
+# Running
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One scenario's measured outcome."""
+
+    name: str
+    units: str
+    n_units: int
+    wall_s: float             # median over repeats
+    repeats: int
+    rate: float               # n_units / wall_s (the median run's rate)
+    all_wall_s: Tuple[float, ...] = ()
+
+    def to_entry(self, python: str, commit: str) -> Dict:
+        return {
+            "visits_per_sec": round(self.rate, 3),
+            "wall_s": round(self.wall_s, 6),
+            "repeats": self.repeats,
+            "python": python,
+            "commit": commit,
+        }
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def run_scenarios(names: Optional[Iterable[str]] = None, *,
+                  warmup: int = 1, repeats: int = 5, quick: bool = False,
+                  verbose: bool = True) -> List[BenchResult]:
+    """Run scenarios and return their measured results.
+
+    Each scenario is set up once, warmed ``warmup`` times, then timed
+    ``repeats`` times; the reported wall time is the median.  ``quick``
+    switches to each scenario's smaller CI workload and clamps repeats
+    to 3, keeping perf-smoke under a minute.
+    """
+    if quick:
+        repeats = min(repeats, 3)
+    chosen = (iter_scenarios() if names is None
+              else [get_scenario(name) for name in names])
+    results: List[BenchResult] = []
+    for scn in chosen:
+        state = scn.build_state(quick=quick)
+        for _ in range(warmup):
+            scn.run(state)
+        walls: List[float] = []
+        n_units = 0
+        for _ in range(max(repeats, 1)):
+            t0 = time.perf_counter()
+            n_units = int(scn.run(state))
+            walls.append(time.perf_counter() - t0)
+        wall = _median(walls)
+        rate = n_units / wall if wall > 0 else float("inf")
+        result = BenchResult(name=scn.name, units=scn.units,
+                             n_units=n_units, wall_s=wall,
+                             repeats=len(walls), rate=rate,
+                             all_wall_s=tuple(walls))
+        results.append(result)
+        if verbose:
+            print(f"  {scn.name:<24} {rate:10.1f} {scn.units}/s  "
+                  f"(median {wall:.3f}s over {len(walls)} runs, "
+                  f"{n_units} {scn.units})", flush=True)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+def current_commit() -> str:
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, timeout=10,
+                             cwd=Path(__file__).resolve().parents[3])
+        commit = out.stdout.strip()
+        return commit if out.returncode == 0 and commit else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def build_report(results: List[BenchResult],
+                 baseline: Optional[Dict] = None) -> Dict:
+    """The BENCH_*.json document for a run.
+
+    ``scenarios`` holds this run's numbers.  When ``baseline`` (a prior
+    report) is given, its scenario entries are embedded under
+    ``baseline`` and a per-scenario ``speedup`` map (this run's rate /
+    baseline rate) records the trajectory — that is how a single
+    committed file carries seed-vs-optimized evidence.
+    """
+    python = platform.python_version()
+    commit = current_commit()
+    report: Dict = {
+        "version": REPORT_VERSION,
+        "scenarios": {r.name: r.to_entry(python, commit) for r in results},
+    }
+    if baseline:
+        base_scenarios = baseline.get("scenarios", baseline)
+        report["baseline"] = base_scenarios
+        speedups = {}
+        for result in results:
+            entry = base_scenarios.get(result.name)
+            if not entry or not entry.get("visits_per_sec"):
+                continue
+            speedups[result.name] = round(
+                result.rate / float(entry["visits_per_sec"]), 3)
+        report["speedup"] = speedups
+    return report
+
+
+def write_report(report: Dict, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_report(path: Union[str, Path]) -> Dict:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "scenarios" not in data:
+        raise ValueError(f"{path}: not a bench report (no 'scenarios' key)")
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Comparison (the regression gate)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Regression:
+    name: str
+    baseline_rate: float
+    current_rate: float
+
+    @property
+    def drop(self) -> float:
+        return 1.0 - self.current_rate / self.baseline_rate
+
+
+def compare_reports(current: Dict, baseline: Dict,
+                    tolerance: float = DEFAULT_TOLERANCE
+                    ) -> List[Regression]:
+    """Return the scenarios whose rate regressed beyond ``tolerance``.
+
+    Only scenarios present in *both* reports are compared; a brand-new
+    scenario cannot regress and a retired one cannot block.  An empty
+    list means the gate passes.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    regressions: List[Regression] = []
+    base = baseline.get("scenarios", baseline)
+    cur = current.get("scenarios", current)
+    for name, entry in sorted(base.items()):
+        if name not in cur:
+            continue
+        base_rate = float(entry["visits_per_sec"])
+        cur_rate = float(cur[name]["visits_per_sec"])
+        if base_rate <= 0:
+            continue
+        if cur_rate < base_rate * (1.0 - tolerance):
+            regressions.append(Regression(name=name,
+                                          baseline_rate=base_rate,
+                                          current_rate=cur_rate))
+    return regressions

@@ -1,0 +1,230 @@
+"""Built-in benchmark scenarios.
+
+These wrap the workloads the ``benchmarks/bench_*.py`` pytest files
+exercise (crawl throughput, async engine, study analysis, shard
+storage) plus micro-scenarios for the hot paths the optimization sweep
+targets (PSL matching, URL parsing, cookie-jar visibility).  Everything
+is seeded, so two runs on the same interpreter measure the same work.
+
+Scenario sizing: the default workloads aim at a few hundred
+milliseconds to a few seconds per repetition on a laptop core; each
+scenario's ``quick_setup`` is the CI (``--quick``) variant, sized to
+keep the whole perf-smoke job under a minute.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import List
+
+from .harness import Scenario, register
+
+SEED = 2025
+
+# Hosts with the shapes the crawl actually produces: service domains,
+# deep subdomains, second-level public suffixes, platform suffixes,
+# wildcard/exception rules, and IP literals.
+_HOST_POOL = [
+    "example.com", "www.example.com", "cdn.static.example.com",
+    "shop.example.co.uk", "example.co.uk", "api.tracker-7.net",
+    "metrics.site-31.org", "a.b.c.d.example.com.au", "example.github.io",
+    "assets.example.github.io", "www.ck", "sub.example.ck",
+    "example.com.bd", "192.168.1.1", "[2001:db8::1]", "site-99.io",
+    "collect.analytics-3.app", "pixel.ads-12.dev", "example.blogspot.com",
+    "deep.sub.domain.example.org",
+]
+
+_URL_POOL = [
+    "https://example.com/",
+    "https://www.example.com/static/main.js",
+    "https://cdn.static.example.com/lib/v2/loader.js?cb=123",
+    "https://api.tracker-7.net/collect?uid=abc&site=example.com",
+    "https://shop.example.co.uk:8443/checkout#step-2",
+    "http://metrics.site-31.org/p?x=1&x=2&y=3",
+    "https://example.github.io/page/deep/path/index.html",
+    "https://collect.analytics-3.app/beacon?payload=aaaaaaaaaaaaaaaa",
+    "wss://live.example.com/socket",
+    "https://pixel.ads-12.dev/i.gif?r=42",
+]
+
+
+def _population(n_sites: int):
+    from ..ecosystem import PopulationConfig, generate_population
+    return generate_population(PopulationConfig(n_sites=n_sites, seed=SEED))
+
+
+# ---------------------------------------------------------------------------
+# End-to-end crawl scenarios (the headline numbers)
+# ---------------------------------------------------------------------------
+
+def _crawl_state(n_sites: int, sample: int, concurrency: int = 1):
+    from ..crawler import CrawlConfig, Crawler
+    population = _population(n_sites)
+    sites = population.successful_sites()[:sample]
+    crawler = Crawler(population, CrawlConfig(seed=SEED,
+                                              concurrency=concurrency))
+    return crawler, sites
+
+
+def _crawl_run(state) -> int:
+    crawler, sites = state
+    logs = crawler.crawl(sites, keep_incomplete=True)
+    assert len(logs) == len(sites)
+    return len(sites)
+
+
+register(Scenario(
+    name="visit_throughput",
+    description="end-to-end serial crawl: sites visited per second on "
+                "one core (the paper's §4.2 visit pipeline)",
+    setup=lambda: _crawl_state(120, 100),
+    quick_setup=lambda: _crawl_state(40, 25),
+    run=_crawl_run,
+    units="visits",
+))
+
+register(Scenario(
+    name="visit_throughput_async",
+    description="the same crawl through the cooperative engine with 16 "
+                "in-flight visits (bench_parallel_crawl's async axis)",
+    setup=lambda: _crawl_state(120, 100, concurrency=16),
+    quick_setup=lambda: _crawl_state(40, 25, concurrency=16),
+    run=_crawl_run,
+    units="visits",
+))
+
+
+# ---------------------------------------------------------------------------
+# Analysis + storage scenarios (bench_crawl_throughput / storage suites)
+# ---------------------------------------------------------------------------
+
+def _logs_state(n_sites: int, sample: int):
+    crawler, sites = _crawl_state(n_sites, sample)
+    return crawler.crawl(sites, keep_incomplete=True)
+
+
+def _study_run(logs) -> int:
+    from ..analysis import Study
+    study = Study(logs)
+    assert study.n_sites == len(logs)
+    return len(logs)
+
+
+register(Scenario(
+    name="study_analysis",
+    description="Study() over crawled logs: the bench_* analysis "
+                "fixture cost (visits analyzed per second)",
+    setup=lambda: _logs_state(120, 100),
+    quick_setup=lambda: _logs_state(40, 25),
+    run=_study_run,
+    units="visits",
+))
+
+
+def _shard_state(n_sites: int, sample: int):
+    # The scratch directory is part of setup, not of the timed run —
+    # each repetition overwrites the same shard file, so only
+    # serialization + digesting is measured.  The TemporaryDirectory
+    # object rides along in the state so its finalizer removes the
+    # directory when the bench run drops the state.
+    scratch = tempfile.TemporaryDirectory(prefix="repro-bench-shard-")
+    return (_logs_state(n_sites, sample), scratch)
+
+
+def _shard_run(state) -> int:
+    from ..crawler.storage import write_shard
+    logs, scratch = state
+    written = write_shard(logs, Path(scratch.name), 0)
+    assert written.count == len(logs)
+    return len(logs)
+
+
+register(Scenario(
+    name="shard_serialize",
+    description="write_shard: VisitLog → JSONL bytes + SHA-256 digest "
+                "(the storage layer every crawl engine streams through)",
+    setup=lambda: _shard_state(120, 100),
+    quick_setup=lambda: _shard_state(40, 25),
+    run=_shard_run,
+    units="visits",
+))
+
+
+# ---------------------------------------------------------------------------
+# Hot-path micro-scenarios
+# ---------------------------------------------------------------------------
+
+def _psl_run(hosts: List[str]) -> int:
+    from ..net.psl import DEFAULT_PSL
+    for host in hosts:
+        DEFAULT_PSL.registrable_domain(host)
+        DEFAULT_PSL.public_suffix(host)
+    return len(hosts) * 2
+
+
+register(Scenario(
+    name="psl_lookup",
+    description="PublicSuffixList.public_suffix/registrable_domain over "
+                "crawl-shaped hosts (every cookie op runs this)",
+    setup=lambda: _HOST_POOL * 2000,
+    quick_setup=lambda: _HOST_POOL * 400,
+    run=_psl_run,
+    units="lookups",
+))
+
+
+def _url_run(raws: List[str]) -> int:
+    from ..net.url import parse_url
+    for raw in raws:
+        url = parse_url(raw)
+        url.origin  # noqa: B018 — the interned-origin path is the point
+    return len(raws)
+
+
+register(Scenario(
+    name="url_parse",
+    description="parse_url + Origin construction over crawl-shaped URLs "
+                "(every request re-parses its target)",
+    setup=lambda: _URL_POOL * 2000,
+    quick_setup=lambda: _URL_POOL * 400,
+    run=_url_run,
+    units="parses",
+))
+
+
+def _jar_state(n_domains: int, per_domain: int, reads: int):
+    from ..cookies.cookie import Cookie
+    from ..cookies.jar import CookieJar
+    from ..net.url import parse_url
+    jar = CookieJar()
+    now = 0.0
+    for d in range(n_domains):
+        domain = f"site-{d}.example.com"
+        for i in range(per_domain):
+            jar.set(Cookie(name=f"c{i}", value=f"v{i}", domain=domain,
+                           host_only=(i % 2 == 0), creation_time=float(i),
+                           last_access_time=float(i)), now=now)
+    urls = [parse_url(f"https://site-{d % n_domains}.example.com/p")
+            for d in range(reads)]
+    return jar, urls
+
+
+def _jar_run(state) -> int:
+    jar, urls = state
+    total = 0
+    for i, url in enumerate(urls):
+        total += len(jar.cookies_for_url(url, now=float(i % 7)))
+    assert total
+    return len(urls)
+
+
+register(Scenario(
+    name="cookie_jar_access",
+    description="CookieJar.cookies_for_url against a populated jar "
+                "(the document.cookie / cookieStore visibility scan)",
+    setup=lambda: _jar_state(40, 12, 4000),
+    quick_setup=lambda: _jar_state(40, 12, 800),
+    run=_jar_run,
+    units="reads",
+))

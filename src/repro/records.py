@@ -5,16 +5,24 @@ This module lives at the package root (rather than inside ``repro.crawler``)
 so the extension layer can use the schemas without importing the crawler
 package; :mod:`repro.crawler.logs` re-exports everything for convenience.
 
-Each record is a frozen dataclass with ``to_dict``/``from_dict`` for the
-JSONL storage layer.  Field names follow the paper's terminology:
-*site* is the visited eTLD+1, *script_domain* is the acting script's
-eTLD+1 (None for inline scripts), *api* is ``document.cookie`` or
+Each record is a frozen, ``slots=True`` dataclass with ``to_dict``/
+``from_dict`` for the JSONL storage layer.  Field names follow the paper's
+terminology: *site* is the visited eTLD+1, *script_domain* is the acting
+script's eTLD+1 (None for inline scripts), *api* is ``document.cookie`` or
 ``cookieStore``.
+
+A crawl materializes millions of these, so the hot-path choices are
+deliberate: ``__slots__`` drops the per-instance ``__dict__`` (smaller,
+faster attribute access) and every ``to_dict`` builds its dict literally —
+``dataclasses.asdict`` recurses through ``copy.deepcopy`` machinery and
+dominated the serialization profile.  Key order is the field order with
+``event`` appended last, exactly matching the historical ``asdict`` output,
+so serialized bytes are unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 __all__ = [
@@ -33,7 +41,7 @@ API_DOCUMENT_COOKIE = "document.cookie"
 API_COOKIE_STORE = "cookieStore"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CookieWriteEvent:
     """A script wrote a cookie (set / overwrite / delete / blocked)."""
 
@@ -51,13 +59,24 @@ class CookieWriteEvent:
     timestamp: float = 0.0
 
     def to_dict(self) -> Dict:
-        d = asdict(self)
-        d["attrs_changed"] = list(self.attrs_changed)
-        d["event"] = "cookie_write"
-        return d
+        return {
+            "site": self.site,
+            "cookie_name": self.cookie_name,
+            "cookie_value": self.cookie_value,
+            "api": self.api,
+            "kind": self.kind,
+            "script_url": self.script_url,
+            "script_domain": self.script_domain,
+            "inclusion": self.inclusion,
+            "raw": self.raw,
+            "prev_value": self.prev_value,
+            "attrs_changed": list(self.attrs_changed),
+            "timestamp": self.timestamp,
+            "event": "cookie_write",
+        }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CookieReadEvent:
     """A script read the cookie jar (names it saw, post-filtering)."""
 
@@ -70,13 +89,19 @@ class CookieReadEvent:
     timestamp: float = 0.0
 
     def to_dict(self) -> Dict:
-        d = asdict(self)
-        d["cookie_names"] = list(self.cookie_names)
-        d["event"] = "cookie_read"
-        return d
+        return {
+            "site": self.site,
+            "api": self.api,
+            "script_url": self.script_url,
+            "script_domain": self.script_domain,
+            "inclusion": self.inclusion,
+            "cookie_names": list(self.cookie_names),
+            "timestamp": self.timestamp,
+            "event": "cookie_read",
+        }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HeaderCookieEvent:
     """A non-HttpOnly ``Set-Cookie`` header was received."""
 
@@ -90,12 +115,20 @@ class HeaderCookieEvent:
     timestamp: float = 0.0
 
     def to_dict(self) -> Dict:
-        d = asdict(self)
-        d["event"] = "header_cookie"
-        return d
+        return {
+            "site": self.site,
+            "cookie_name": self.cookie_name,
+            "cookie_value": self.cookie_value,
+            "response_url": self.response_url,
+            "response_domain": self.response_domain,
+            "initiator_domain": self.initiator_domain,
+            "first_party": self.first_party,
+            "timestamp": self.timestamp,
+            "event": "header_cookie",
+        }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestEvent:
     """An outbound network request with initiator attribution."""
 
@@ -113,13 +146,24 @@ class RequestEvent:
     timestamp: float = 0.0
 
     def to_dict(self) -> Dict:
-        d = asdict(self)
-        d["stack"] = list(self.stack)
-        d["event"] = "request"
-        return d
+        return {
+            "site": self.site,
+            "url": self.url,
+            "host": self.host,
+            "domain": self.domain,
+            "method": self.method,
+            "resource_type": self.resource_type,
+            "query": self.query,
+            "body": self.body,
+            "script_url": self.script_url,
+            "script_domain": self.script_domain,
+            "stack": list(self.stack),
+            "timestamp": self.timestamp,
+            "event": "request",
+        }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DomMutationEvent:
     """A DOM write attributed to a script (for the §8 pilot)."""
 
@@ -132,12 +176,19 @@ class DomMutationEvent:
     timestamp: float = 0.0
 
     def to_dict(self) -> Dict:
-        d = asdict(self)
-        d["event"] = "dom_mutation"
-        return d
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "target_tag": self.target_tag,
+            "actor_domain": self.actor_domain,
+            "owner_domain": self.owner_domain,
+            "cross_script": self.cross_script,
+            "timestamp": self.timestamp,
+            "event": "dom_mutation",
+        }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScriptRecord:
     """One distinct script observed on a page (for §5.1/§5.6 analyses)."""
 
@@ -148,12 +199,17 @@ class ScriptRecord:
     parent_domain: Optional[str] = None
 
     def to_dict(self) -> Dict:
-        d = asdict(self)
-        d["event"] = "script"
-        return d
+        return {
+            "url": self.url,
+            "domain": self.domain,
+            "inclusion": self.inclusion,
+            "depth": self.depth,
+            "parent_domain": self.parent_domain,
+            "event": "script",
+        }
 
 
-@dataclass
+@dataclass(slots=True)
 class VisitLog:
     """Everything the instrumentation collected during one site visit."""
 

@@ -34,6 +34,7 @@ from repro.crawler import (
 from repro.crawler.distributed import (
     FAULT_ONCE_ENV,
     QUEUE_NAME,
+    QUEUE_VERSION,
     ShardOutcome,
     WorkQueue,
     WorkSpec,
@@ -208,7 +209,7 @@ class TestWorkQueue:
     def test_lost_lease_becomes_pending(self, tmp_path):
         path = tmp_path / QUEUE_NAME
         records = [
-            {"event": "plan", "version": 1, "run_key": "k", "n_shards": 2,
+            {"event": "plan", "version": QUEUE_VERSION, "run_key": "k", "n_shards": 2,
              "strategy": "contiguous"},
             {"event": "task", "index": 0, "ranks": [1, 2]},
             {"event": "task", "index": 1, "ranks": [3, 4]},
@@ -228,7 +229,7 @@ class TestWorkQueue:
         """done → lease → crash: the retry must reproduce the old bytes."""
         path = tmp_path / QUEUE_NAME
         records = [
-            {"event": "plan", "version": 1, "run_key": "k", "n_shards": 1,
+            {"event": "plan", "version": QUEUE_VERSION, "run_key": "k", "n_shards": 1,
              "strategy": "contiguous"},
             {"event": "task", "index": 0, "ranks": [1, 2]},
             {"event": "lease", "index": 0, "attempt": 1, "worker": "w"},
@@ -245,8 +246,23 @@ class TestWorkQueue:
 
     def test_corrupt_journal_raises(self, tmp_path):
         path = tmp_path / QUEUE_NAME
-        path.write_text('{"event": "plan", "version": 1}\n')
+        path.write_text('{"event": "plan", "version": %d}\n' % QUEUE_VERSION)
         with pytest.raises(CoordinationError, match="corrupt queue"):
+            WorkQueue.load(path)
+
+    def test_pre_compact_serializer_queue_refused(self, tmp_path):
+        """Version-1 journals recorded digests of the pre-PR5 shard
+        bytes; resuming one must refuse up front, not fail later with a
+        misleading determinism-break error."""
+        path = tmp_path / QUEUE_NAME
+        records = [
+            {"event": "plan", "version": 1, "run_key": "k", "n_shards": 1,
+             "strategy": "contiguous"},
+            {"event": "task", "index": 0, "ranks": [1, 2]},
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        with pytest.raises(CoordinationError,
+                           match="unsupported queue version 1"):
             WorkQueue.load(path)
 
     def test_foreign_queue_rejected(self, small_population, tmp_path):
@@ -410,6 +426,25 @@ class TestShardStore:
         cold_manifest = ShardManifest.load(tmp_path / "cold")
         warm_manifest = ShardManifest.load(tmp_path / "warm")
         assert cold_manifest == warm_manifest
+
+    def test_replanned_rerun_keys_by_ranks_not_index(self, small_population,
+                                                     serial_stream,
+                                                     tmp_path):
+        """One Coordinator, two run() calls with different shard counts:
+        the second plan's cache keys must derive from each task's ranks,
+        never from a stale index-keyed memo of the first plan."""
+        store = ShardStore(tmp_path / "cache")
+        coordinator = Coordinator(small_population, CrawlConfig(seed=SEED),
+                                  store=store)
+        coordinator.run(tmp_path / "two", n_shards=2)
+        coordinator.run(tmp_path / "three", n_shards=3)
+        fresh = Coordinator(small_population, CrawlConfig(seed=SEED))
+        fresh.run(tmp_path / "fresh-three", n_shards=3)
+        for name in ("shard-0000.jsonl", "shard-0001.jsonl",
+                     "shard-0002.jsonl"):
+            assert (tmp_path / "three" / name).read_bytes() == \
+                (tmp_path / "fresh-three" / name).read_bytes()
+        assert _stream(load_logs(tmp_path / "three")) == serial_stream
 
     def test_store_roundtrip(self, tmp_path):
         store = ShardStore(tmp_path / "cache")

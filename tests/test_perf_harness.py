@@ -1,0 +1,203 @@
+"""The ``repro.perf`` benchmark harness: registry, runner, report, gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import harness
+from repro.perf.harness import (BenchResult, Scenario, build_report,
+                                compare_reports, load_report, run_scenarios,
+                                write_report, _median)
+
+
+@pytest.fixture
+def registry(monkeypatch):
+    """An isolated registry with two tiny deterministic scenarios."""
+    reg = {}
+    monkeypatch.setattr(harness, "_REGISTRY", reg)
+    monkeypatch.setattr(harness, "_ensure_builtin", lambda: None)
+    calls = {"full": 0, "quick": 0, "runs": 0}
+
+    def setup():
+        calls["full"] += 1
+        return list(range(100))
+
+    def quick_setup():
+        calls["quick"] += 1
+        return list(range(10))
+
+    def run(state):
+        calls["runs"] += 1
+        return len(state)
+
+    harness.register(Scenario(name="tiny", description="d", setup=setup,
+                              run=run, quick_setup=quick_setup,
+                              units="ops"))
+    harness.register(Scenario(name="alpha", description="d",
+                              setup=lambda: [1, 2, 3],
+                              run=lambda s: len(s), units="ops"))
+    return calls
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self, registry):
+        with pytest.raises(ValueError, match="duplicate"):
+            harness.register(Scenario(name="tiny", description="x",
+                                      setup=list, run=len))
+
+    def test_iter_is_sorted(self, registry):
+        assert [s.name for s in harness.iter_scenarios()] == \
+            ["alpha", "tiny"]
+
+    def test_unknown_scenario_names_known_ones(self, registry):
+        with pytest.raises(KeyError, match="alpha"):
+            harness.get_scenario("nope")
+
+    def test_builtin_registry_has_the_headline_scenario(self):
+        names = {s.name for s in harness.iter_scenarios()}
+        assert "visit_throughput" in names
+        assert "psl_lookup" in names
+
+
+class TestRunner:
+    def test_medians_and_units(self, registry):
+        results = run_scenarios(["tiny"], warmup=2, repeats=5,
+                                verbose=False)
+        (res,) = results
+        assert res.name == "tiny" and res.units == "ops"
+        assert res.n_units == 100
+        assert res.repeats == 5 and len(res.all_wall_s) == 5
+        assert res.wall_s == _median(list(res.all_wall_s))
+        assert res.rate == pytest.approx(res.n_units / res.wall_s)
+        # setup once, warmup twice + five timed runs
+        assert registry["full"] == 1 and registry["quick"] == 0
+        assert registry["runs"] == 7
+
+    def test_quick_uses_quick_setup_and_clamps_repeats(self, registry):
+        (res,) = run_scenarios(["tiny"], warmup=0, repeats=5, quick=True,
+                               verbose=False)
+        assert registry["quick"] == 1 and registry["full"] == 0
+        assert res.repeats == 3
+        assert res.n_units == 10
+
+    def test_median_odd_even(self):
+        assert _median([3.0, 1.0, 2.0]) == 2.0
+        assert _median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+
+class TestReport:
+    def _result(self, name="s", rate=100.0) -> BenchResult:
+        wall = 10.0 / rate
+        return BenchResult(name=name, units="ops", n_units=10,
+                           wall_s=wall, repeats=3, rate=rate,
+                           all_wall_s=(wall,) * 3)
+
+    def test_schema_fields(self, tmp_path):
+        report = build_report([self._result()])
+        entry = report["scenarios"]["s"]
+        assert set(entry) == {"visits_per_sec", "wall_s", "repeats",
+                              "python", "commit"}
+        assert entry["visits_per_sec"] == pytest.approx(100.0)
+        assert entry["repeats"] == 3
+        path = write_report(report, tmp_path / "BENCH_test.json")
+        assert load_report(path)["scenarios"]["s"] == entry
+
+    def test_baseline_embedding_and_speedup(self):
+        baseline = build_report([self._result(rate=50.0)])
+        report = build_report([self._result(rate=100.0)],
+                              baseline=baseline)
+        assert report["speedup"]["s"] == pytest.approx(2.0)
+        assert report["baseline"]["s"]["visits_per_sec"] == \
+            pytest.approx(50.0)
+
+    def test_load_report_rejects_non_reports(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"foo": 1}), encoding="utf-8")
+        with pytest.raises(ValueError, match="scenarios"):
+            load_report(path)
+
+
+class TestRegressionGate:
+    def _report(self, **rates):
+        return {"scenarios": {name: {"visits_per_sec": rate}
+                              for name, rate in rates.items()}}
+
+    def test_within_tolerance_passes(self):
+        cur = self._report(a=80.0, b=120.0)
+        base = self._report(a=100.0, b=100.0)
+        assert compare_reports(cur, base, tolerance=0.25) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        cur = self._report(a=70.0)
+        base = self._report(a=100.0)
+        (reg,) = compare_reports(cur, base, tolerance=0.25)
+        assert reg.name == "a"
+        assert reg.drop == pytest.approx(0.30)
+
+    def test_new_and_retired_scenarios_do_not_block(self):
+        cur = self._report(new_one=1.0)
+        base = self._report(old_one=1000.0)
+        assert compare_reports(cur, base, tolerance=0.25) == []
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_reports(self._report(), self._report(), tolerance=1.5)
+
+
+class TestCommittedBaseline:
+    def test_bench_5_json_is_a_valid_report(self):
+        """The committed trajectory file must parse and carry the
+        headline scenario with the required speedup evidence."""
+        from pathlib import Path
+        path = Path(__file__).parent.parent / "BENCH_5.json"
+        report = load_report(path)
+        entry = report["scenarios"]["visit_throughput"]
+        assert set(entry) >= {"visits_per_sec", "wall_s", "repeats",
+                              "python", "commit"}
+        assert entry["visits_per_sec"] > 0
+        # Seed-vs-optimized: the baseline (seed) numbers are embedded
+        # and the recorded single-core speedup meets the PR 5 target.
+        assert report["baseline"]["visit_throughput"]["visits_per_sec"] > 0
+        assert report["speedup"]["visit_throughput"] >= 1.5
+
+    def test_quick_baseline_is_a_valid_report(self):
+        """The quick-sized gate reference CI's perf-smoke compares
+        against must parse and cover every registered scenario."""
+        from pathlib import Path
+        report = load_report(
+            Path(__file__).parent.parent / "BENCH_5.quick.json")
+        registered = {s.name for s in harness.iter_scenarios()}
+        assert registered <= set(report["scenarios"])
+        for entry in report["scenarios"].values():
+            assert entry["visits_per_sec"] > 0
+
+
+class TestCLI:
+    def test_bench_list_and_quick_micro(self, capsys):
+        from repro.__main__ import main
+        main(["bench", "--list"])
+        out = capsys.readouterr().out
+        assert "visit_throughput" in out and "psl_lookup" in out
+
+    def test_bench_compare_gate_exit_code(self, tmp_path, capsys):
+        from repro.__main__ import main
+        fast = tmp_path / "fast.json"
+        write_report({"version": 1, "scenarios":
+                      {"psl_lookup": {"visits_per_sec": 1e12,
+                                      "wall_s": 0.0, "repeats": 1,
+                                      "python": "x", "commit": "y"}}}, fast)
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "--quick", "--repeats", "1", "--compare",
+                  str(fast), "psl_lookup"])
+        assert exc.value.code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_bench_out_writes_report(self, tmp_path):
+        from repro.__main__ import main
+        out = tmp_path / "report.json"
+        main(["bench", "--quick", "--repeats", "1", "--warmup", "0",
+              "--out", str(out), "psl_lookup"])
+        report = load_report(out)
+        assert "psl_lookup" in report["scenarios"]
