@@ -30,6 +30,19 @@ bench [SCENARIO ...] [--quick] [--repeats R] [--warmup W] [--out F]
     report's numbers (plus per-scenario speedups) into ``--out``;
     ``--compare F`` exits non-zero when any scenario's rate drops more
     than ``--tolerance`` (default 0.25) below the baseline's
+serve [ROOT] [--host H] [--port P]
+    HTTP study-catalog service (``repro.serve``) over the sharded
+    crawl directories under ROOT (default ``studies``; a ROOT that is
+    itself a crawl directory serves as a single study).  Endpoints:
+    ``/studies``, ``/studies/<id>``, ``/studies/<id>/shards``,
+    ``/studies/<id>/sites/<rank>`` (seek via sidecar indexes), and
+    parameterized ``/studies/<id>/reports/<name>`` queries.  Every
+    response carries a digest-derived strong ETag and honors
+    ``If-None-Match`` with 304
+index-shards DIR [DIR ...] [--force]
+    backfill sidecar seek indexes (``shard-NNNN.index.json``) for
+    existing sharded crawl directories; shard bytes, digests, and
+    manifests are untouched.  ``--force`` rewrites valid sidecars too
 full [N] [OUT] [--jobs J] [--concurrency C] [--shards S]
     the complete paper reproduction in one shot
 
@@ -224,6 +237,36 @@ def _run_crawl_shard(args: List[str]) -> None:
     print(json.dumps(result, sort_keys=True))
 
 
+def _run_serve(args: List[str]) -> None:
+    """Serve the study catalog over HTTP until interrupted."""
+    host = pop_flag(args, "--host") or "127.0.0.1"
+    port = pop_int_flag(args, "--port", 8311, minimum=0)
+    reject_unknown_flags(args)
+    if len(args) > 1:
+        print("serve takes at most one positional argument: ROOT")
+        raise SystemExit(2)
+    root = args[0] if args else "studies"
+    from pathlib import Path
+    if not Path(root).is_dir():
+        print(f"serve: root {root!r} is not a directory")
+        raise SystemExit(2)
+    from .serve import serve
+    serve(root, host=host, port=port)
+
+
+def _run_index_shards(args: List[str]) -> None:
+    """Backfill sidecar seek indexes for sharded crawl directories."""
+    force = pop_switch(args, "--force")
+    reject_unknown_flags(args)
+    if not args:
+        print("index-shards needs at least one crawl directory")
+        raise SystemExit(2)
+    from .crawler import build_shard_indexes
+    for directory in args:
+        written = build_shard_indexes(directory, force=force)
+        print(f"{directory}: wrote {written} sidecar index(es)")
+
+
 def main(argv=None) -> None:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv:
@@ -240,6 +283,10 @@ def main(argv=None) -> None:
         _run_crawl_shard(args)
     elif command == "bench":
         _run_bench(args)
+    elif command == "serve":
+        _run_serve(args)
+    elif command == "index-shards":
+        _run_index_shards(args)
     elif command == "full":
         from pathlib import Path
         script = Path(__file__).resolve().parents[2] / "scripts" / "full_scale_run.py"

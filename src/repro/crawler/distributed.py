@@ -55,6 +55,7 @@ import shutil
 import subprocess
 import sys
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
@@ -64,9 +65,10 @@ from ..ecosystem.population import Population, PopulationConfig
 from .crawler import CrawlConfig, Crawler, config_fingerprint
 from .parallel import (CrawlProgress, Shard, ShardPlan, derive_shard_config,
                        _init_worker, _WORKER)
-from .storage import (ManifestError, SHARD_FORMAT_VERSION, ShardManifest,
-                      ShardWriteResult, compute_digest, shard_filename,
-                      verify_shard_files, write_shard)
+from .storage import (ManifestError, SHARD_FORMAT_VERSION, ShardIndex,
+                      ShardManifest, ShardWriteResult, compute_digest,
+                      index_filename, load_shard_index, shard_filename,
+                      verify_shard_files, write_shard, write_shard_index)
 
 __all__ = [
     "CoordinationError",
@@ -407,12 +409,30 @@ class WorkQueue:
             lines = path.read_text(encoding="utf-8").splitlines()
         except OSError as exc:
             raise CoordinationError(f"unreadable queue {path}: {exc}") from exc
+        last_content = max((i for i, text in enumerate(lines, 1)
+                            if text.strip()), default=0)
         for lineno, line in enumerate(lines, 1):
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == last_content:
+                    # A crash mid-append leaves exactly one torn line,
+                    # and only at the tail.  Drop it: whatever lease or
+                    # completion it recorded is replayed as lost work,
+                    # which idempotent shard re-execution makes safe.
+                    # Torn bytes anywhere *before* the tail cannot come
+                    # from an append crash and stay a hard error below.
+                    warnings.warn(
+                        f"queue {path}: dropping torn final line "
+                        f"{lineno} ({exc}); its event is replayed as "
+                        f"lost work", RuntimeWarning, stacklevel=2)
+                    break
+                raise CoordinationError(
+                    f"corrupt queue {path} line {lineno}: {exc}") from exc
+            try:
                 event = record["event"]
                 if event == "plan":
                     if int(record["version"]) != QUEUE_VERSION:
@@ -469,6 +489,10 @@ class WorkQueue:
 
     # -- journal appends ---------------------------------------------------
     def _append(self, record: Dict) -> None:
+        # flush + fsync on every append: a recorded done/fail must be on
+        # stable storage before the coordinator acts on it, or an OS
+        # crash could reorder a completion record after the shard file
+        # it describes and break the digest-checked retry invariant.
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
@@ -781,22 +805,27 @@ class SubprocessBackend(WorkerBackend):
             return ShardOutcome(
                 index=task.index, ok=False,
                 error=f"worker exited {proc.returncode}: {tail}")
-        log_path.unlink(missing_ok=True)
         # stderr is merged into the log, so scan from the end for the
-        # result record rather than trusting the very last line.
+        # result record rather than trusting the very last line.  The
+        # log file is unlinked only once a result has actually been
+        # parsed out of it: a "no parseable result line" failure keeps
+        # the log — it IS the diagnostic evidence — and names its path.
         lines = [line for line in stdout.splitlines() if line.strip()]
         for line in reversed(lines):
             try:
                 record = json.loads(line)
-                return ShardOutcome(index=task.index, ok=True,
-                                    file=str(record["file"]),
-                                    count=int(record["count"]),
-                                    sha256=str(record["sha256"]))
+                outcome = ShardOutcome(index=task.index, ok=True,
+                                       file=str(record["file"]),
+                                       count=int(record["count"]),
+                                       sha256=str(record["sha256"]))
             except (KeyError, TypeError, ValueError):
                 continue
+            log_path.unlink(missing_ok=True)
+            return outcome
         return ShardOutcome(
             index=task.index, ok=False,
-            error="worker produced no parseable result line")
+            error=f"worker produced no parseable result line "
+                  f"(worker log kept at {log_path})")
 
 
 def make_backend(name: str, jobs: int = 1,
@@ -889,11 +918,27 @@ class ShardStore:
         out_dir.mkdir(parents=True, exist_ok=True)
         name = shard_filename(index, compress)
         shutil.copyfile(data_path, out_dir / name)
+        # Rematerialize the sidecar rank→offset index under the target
+        # shard name, so a cache-served dataset is just as seekable as a
+        # freshly crawled one.  Entries cached before indexes existed
+        # simply lack one — read_site's scan fallback covers that.
+        cached_index = load_shard_index(entry, str(meta["file"]))
+        if cached_index is not None and cached_index.sha256 == recorded:
+            write_shard_index(out_dir / index_filename(name), ShardIndex(
+                file=name, count=cached_index.count,
+                sha256=cached_index.sha256, ranks=cached_index.ranks,
+                offsets=cached_index.offsets, lengths=cached_index.lengths))
         return ShardWriteResult(name=name, count=count, sha256=recorded)
 
     def put(self, key: str, shard_path: Union[str, Path], count: int,
             compress: bool, sha256: Optional[str] = None) -> None:
-        """Insert a crawled shard file under ``key`` (idempotent)."""
+        """Insert a crawled shard file under ``key`` (idempotent).
+
+        When the shard carries a sidecar rank→offset index, the index
+        rides along (stored under the entry's canonical data name) so a
+        later :meth:`fetch` can rematerialize it without re-parsing the
+        shard.
+        """
         shard_path = Path(shard_path)
         entry = self._entry_dir(key)
         entry.mkdir(parents=True, exist_ok=True)
@@ -902,6 +947,12 @@ class ShardStore:
         tmp = entry / (data_name + ".tmp")
         shutil.copyfile(shard_path, tmp)
         tmp.replace(entry / data_name)
+        source_index = load_shard_index(shard_path.parent, shard_path.name)
+        if source_index is not None and source_index.sha256 == digest:
+            write_shard_index(entry / index_filename(data_name), ShardIndex(
+                file=data_name, count=source_index.count,
+                sha256=source_index.sha256, ranks=source_index.ranks,
+                offsets=source_index.offsets, lengths=source_index.lengths))
         meta = {"key": key, "file": data_name, "count": int(count),
                 "compress": bool(compress), "sha256": digest}
         meta_tmp = entry / "meta.json.tmp"

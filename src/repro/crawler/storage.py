@@ -11,6 +11,18 @@ Two on-disk layouts are supported:
 ``save_logs``/``load_logs`` speak both layouts: pass ``shards=N`` (or a
 directory path) to write the sharded form; ``load_logs`` detects a
 manifest directory automatically and validates it while reading.
+
+Sharded writes also emit a **sidecar index** per shard
+(``shard-NNNN.index.json``): a rank → (byte offset, line length) map
+over the *uncompressed* JSONL stream, plus the shard file's SHA-256 so
+a stale sidecar (shard rewritten without its index) is detected and
+ignored.  :func:`read_site` uses the sidecars to serve a single site's
+:class:`VisitLog` with a seek and a one-line parse instead of
+deserializing a whole shard — the lookup primitive the
+:mod:`repro.serve` HTTP catalog rides — falling back to a full line
+scan for pre-index datasets (:func:`build_shard_indexes` backfills
+them in one shot).  The sidecar is derived data: shard bytes, digests,
+and :data:`SHARD_FORMAT_VERSION` are untouched by its existence.
 """
 
 from __future__ import annotations
@@ -21,7 +33,8 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
 
 from .logs import VisitLog
 
@@ -29,11 +42,17 @@ __all__ = [
     "CrawlDataset",
     "ManifestError",
     "SHARD_FORMAT_VERSION",
+    "SHARD_INDEX_VERSION",
+    "ShardIndex",
     "ShardManifest",
     "ShardWriteResult",
+    "build_shard_indexes",
     "compute_digest",
+    "index_filename",
     "iter_logs",
     "load_logs",
+    "load_shard_index",
+    "read_site",
     "save_logs",
     "shard_filename",
     "verify_shard_files",
@@ -42,6 +61,11 @@ __all__ = [
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
+
+#: Version of the sidecar ``*.index.json`` format.  Independent of the
+#: shard byte format: the sidecar is derived data and never enters
+#: digests, cache keys, or the golden fixture.
+SHARD_INDEX_VERSION = 1
 
 #: Version of the shard *byte* format.  Bumped whenever the serializer
 #: changes the bytes it emits for the same logs (v2: compact JSON
@@ -94,6 +118,21 @@ def compute_digest(path: Union[str, Path]) -> str:
 
 def shard_filename(index: int, compress: bool = False) -> str:
     return f"shard-{index:04d}.jsonl" + (".gz" if compress else "")
+
+
+def index_filename(shard_name: str) -> str:
+    """Sidecar index name for a shard file name.
+
+    ``shard-0003.jsonl`` and ``shard-0003.jsonl.gz`` both map to
+    ``shard-0003.index.json`` — the index describes the uncompressed
+    JSONL stream, so the compression suffix is irrelevant to it.
+    """
+    base = shard_name
+    if base.endswith(".gz"):
+        base = base[:-len(".gz")]
+    if base.endswith(".jsonl"):
+        base = base[:-len(".jsonl")]
+    return base + ".index.json"
 
 
 # ---------------------------------------------------------------------------
@@ -190,12 +229,16 @@ class ShardManifest:
         in-place write interrupted by a crash could leave a torn file
         that neither loads nor signals "no manifest yet".  With the
         rename, readers see either the old complete manifest or the new
-        one, never a prefix.
+        one, never a prefix.  The tmp file is fsynced before the rename:
+        without it, an OS crash could reorder the rename ahead of the
+        data blocks and publish a manifest full of holes.
         """
         path = Path(directory) / MANIFEST_NAME
         tmp = path.with_name(MANIFEST_NAME + ".tmp")
-        tmp.write_text(json.dumps(self.to_dict(), indent=2) + "\n",
-                       encoding="utf-8")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(self.to_dict(), indent=2) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
         return path
 
@@ -229,7 +272,8 @@ class ShardWriteResult:
 _WRITE_CHUNK_LINES = 512
 
 
-def _write_shard(logs: Iterable[VisitLog], path: Path) -> "ShardWriteResult":
+def _write_shard(logs: Iterable[VisitLog], path: Path,
+                 index_path: Optional[Path] = None) -> "ShardWriteResult":
     """Stream logs to ``path`` as compact JSONL; returns count + digest.
 
     One serialization pass: compact separators (no cosmetic spaces —
@@ -239,9 +283,17 @@ def _write_shard(logs: Iterable[VisitLog], path: Path) -> "ShardWriteResult":
     written with a zeroed header (no mtime, no filename) so compressed
     bytes stay a pure function of the content — the determinism the
     distributed coordinator's retry verification leans on.
+
+    With ``index_path``, a sidecar rank→offset index over the
+    uncompressed stream is written alongside.  The shard bytes (and
+    therefore digest) are identical with or without the sidecar.
     """
     count = 0
-    buf: List[str] = []
+    offset = 0
+    buf: List[bytes] = []
+    ranks: List[int] = []
+    offsets: List[int] = []
+    lengths: List[int] = []
     dumps = json.dumps
     with open(path, "wb") as raw:
         tee = _Sha256Tee(raw)
@@ -249,18 +301,29 @@ def _write_shard(logs: Iterable[VisitLog], path: Path) -> "ShardWriteResult":
                if path.suffix == ".gz" else tee)
         try:
             for log in logs:
-                buf.append(dumps(log.to_dict(), separators=(",", ":")))
+                line = dumps(log.to_dict(),
+                             separators=(",", ":")).encode("utf-8")
+                if index_path is not None:
+                    ranks.append(log.rank)
+                    offsets.append(offset)
+                    lengths.append(len(line))
+                offset += len(line) + 1
+                buf.append(line)
                 count += 1
                 if len(buf) >= _WRITE_CHUNK_LINES:
-                    out.write(("\n".join(buf) + "\n").encode("utf-8"))
+                    out.write(b"\n".join(buf) + b"\n")
                     buf.clear()
             if buf:
-                out.write(("\n".join(buf) + "\n").encode("utf-8"))
+                out.write(b"\n".join(buf) + b"\n")
         finally:
             if out is not tee:
                 out.close()
-    return ShardWriteResult(name=path.name, count=count,
-                            sha256=tee.sha.hexdigest())
+    digest = tee.sha.hexdigest()
+    if index_path is not None:
+        write_shard_index(index_path, ShardIndex(
+            file=path.name, count=count, sha256=digest,
+            ranks=ranks, offsets=offsets, lengths=lengths))
+    return ShardWriteResult(name=path.name, count=count, sha256=digest)
 
 
 def write_shard(logs: Iterable[VisitLog], directory: Union[str, Path],
@@ -271,11 +334,14 @@ def write_shard(logs: Iterable[VisitLog], directory: Union[str, Path],
     the coordinator assembles and saves the :class:`ShardManifest` from
     the returned digests afterwards.  Gzip output is deterministic
     (zeroed header), so the digest is a pure function of the logs.
+    Every shard gets a sidecar rank→offset index (see
+    :func:`read_site`); the shard bytes themselves are unaffected.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     name = shard_filename(index, compress)
-    return _write_shard(logs, directory / name)
+    return _write_shard(logs, directory / name,
+                        index_path=directory / index_filename(name))
 
 
 def save_shard(logs: Iterable[VisitLog], directory: Union[str, Path],
@@ -318,6 +384,219 @@ def save_logs(logs: Iterable[VisitLog], path: Union[str, Path],
                   files=tuple(files), counts=tuple(counts),
                   digests=tuple(digests)).save(path)
     return len(logs)
+
+
+# ---------------------------------------------------------------------------
+# Sidecar shard indexes (seekable single-site lookup)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ShardIndex:
+    """Parsed sidecar index for one shard file.
+
+    ``offsets``/``lengths`` address the *uncompressed* JSONL stream (for
+    plain shards that is the file itself; for gzip shards the seek
+    decompresses forward, which still skips all JSON parsing).
+    ``sha256`` is the shard file's on-disk digest at index-write time —
+    comparing it against the manifest's recorded digest is how a stale
+    sidecar is detected.
+    """
+
+    file: str
+    count: int
+    sha256: str
+    ranks: Sequence[int]
+    offsets: Sequence[int]
+    lengths: Sequence[int]
+
+    def __post_init__(self) -> None:
+        self._by_rank: Dict[int, Tuple[int, int]] = {
+            rank: (offset, length)
+            for rank, offset, length in zip(self.ranks, self.offsets,
+                                            self.lengths)}
+
+    def entry_for(self, rank: int) -> Optional[Tuple[int, int]]:
+        """(byte offset, line length) of ``rank``'s log line, or None."""
+        return self._by_rank.get(rank)
+
+    def to_dict(self) -> Dict:
+        return {
+            "version": SHARD_INDEX_VERSION,
+            "file": self.file,
+            "count": self.count,
+            "sha256": self.sha256,
+            "ranks": list(self.ranks),
+            "offsets": list(self.offsets),
+            "lengths": list(self.lengths),
+        }
+
+
+def write_shard_index(path: Union[str, Path], index: ShardIndex) -> Path:
+    """Write a sidecar index atomically (tmp + ``os.replace``).
+
+    A torn sidecar must never poison lookups: readers treat an
+    unparseable sidecar as absent, but the rename makes even that
+    window impossible for the common case.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(index.to_dict(), separators=(",", ":")) + "\n",
+                   encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def load_shard_index(directory: Union[str, Path],
+                     shard_name: str) -> Optional["ShardIndex"]:
+    """Parse the sidecar index for ``shard_name``; None if unusable.
+
+    "Unusable" covers a missing sidecar, torn/garbage JSON, a version or
+    shard-name mismatch, and inconsistent array lengths — every case
+    degrades to the full-scan fallback rather than raising.
+    """
+    path = Path(directory) / index_filename(shard_name)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    try:
+        if int(data["version"]) != SHARD_INDEX_VERSION:
+            return None
+        if str(data["file"]) != shard_name:
+            return None
+        index = ShardIndex(
+            file=shard_name,
+            count=int(data["count"]),
+            sha256=str(data["sha256"]),
+            ranks=[int(r) for r in data["ranks"]],
+            offsets=[int(o) for o in data["offsets"]],
+            lengths=[int(n) for n in data["lengths"]],
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+    if not (len(index.ranks) == len(index.offsets)
+            == len(index.lengths) == index.count):
+        return None
+    return index
+
+
+def _open_binary(path: Path):
+    """The shard's uncompressed byte stream (what index offsets address)."""
+    if path.suffix == ".gz":
+        return gzip.open(path, "rb")
+    return open(path, "rb")
+
+
+def _read_line_at(path: Path, offset: int, length: int) -> bytes:
+    with _open_binary(path) as handle:
+        handle.seek(offset)
+        return handle.read(length)
+
+
+def _load_valid_index(directory: Path, manifest: ShardManifest,
+                      shard_pos: int) -> Optional[ShardIndex]:
+    """The shard's sidecar index, or None when missing or stale.
+
+    Stale = the sidecar's recorded shard digest disagrees with the
+    manifest's (the shard was rewritten without its index); such a
+    sidecar is ignored, never trusted.
+    """
+    name = manifest.files[shard_pos]
+    index = load_shard_index(directory, name)
+    if index is None:
+        return None
+    expected = manifest.digest_for(shard_pos)
+    if expected is not None and index.sha256 != expected:
+        return None
+    return index
+
+
+def read_site(directory: Union[str, Path], rank: int, *,
+              manifest: Optional[ShardManifest] = None,
+              use_index: bool = True,
+              index_cache: Optional[Dict[int, Optional[ShardIndex]]] = None
+              ) -> VisitLog:
+    """Fetch one site's :class:`VisitLog` from a sharded dataset by rank.
+
+    With sidecar indexes this is a seek plus a one-line parse; shards
+    without a usable index fall back to a transparent full line scan
+    (``use_index=False`` forces that path, for equivalence tests and
+    benchmarks).  ``index_cache`` — a caller-owned dict keyed by shard
+    position — memoizes parsed sidecars across calls, which is what the
+    :mod:`repro.serve` catalog does per study.  Raises :class:`KeyError`
+    when no shard holds ``rank``.
+    """
+    directory = Path(directory)
+    if manifest is None:
+        manifest = ShardManifest.load(directory)
+    unindexed: List[int] = []
+    for pos, name in enumerate(manifest.files):
+        index: Optional[ShardIndex] = None
+        if use_index:
+            if index_cache is not None and pos in index_cache:
+                index = index_cache[pos]
+            else:
+                index = _load_valid_index(directory, manifest, pos)
+                if index_cache is not None:
+                    index_cache[pos] = index
+        if index is None:
+            unindexed.append(pos)
+            continue
+        entry = index.entry_for(rank)
+        if entry is None:
+            continue
+        offset, length = entry
+        line = _read_line_at(directory / name, offset, length)
+        return VisitLog.from_dict(json.loads(line))
+    for pos in unindexed:
+        path = directory / manifest.files[pos]
+        with _open(path, "r") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                data = json.loads(line)
+                if int(data.get("rank", -1)) == rank:
+                    return VisitLog.from_dict(data)
+    raise KeyError(f"rank {rank} is not in the dataset at {directory}")
+
+
+def build_shard_indexes(directory: Union[str, Path],
+                        force: bool = False) -> int:
+    """Backfill sidecar indexes for a sharded dataset (one-shot).
+
+    Scans every shard that lacks a usable sidecar (or all of them with
+    ``force=True``), recording each line's rank, uncompressed byte
+    offset, and length.  Returns the number of sidecars written.  Safe
+    to re-run: up-to-date sidecars are left alone.
+    """
+    directory = Path(directory)
+    manifest = ShardManifest.load(directory)
+    built = 0
+    for pos, name in enumerate(manifest.files):
+        if not force and _load_valid_index(directory, manifest, pos) \
+                is not None:
+            continue
+        path = directory / name
+        digest = manifest.digest_for(pos) or compute_digest(path)
+        ranks: List[int] = []
+        offsets: List[int] = []
+        lengths: List[int] = []
+        offset = 0
+        with _open_binary(path) as handle:
+            for raw_line in handle:
+                stripped = raw_line.rstrip(b"\n")
+                if stripped:
+                    data = json.loads(stripped)
+                    ranks.append(int(data.get("rank", 0)))
+                    offsets.append(offset)
+                    lengths.append(len(stripped))
+                offset += len(raw_line)
+        write_shard_index(directory / index_filename(name), ShardIndex(
+            file=name, count=len(ranks), sha256=digest,
+            ranks=ranks, offsets=offsets, lengths=lengths))
+        built += 1
+    return built
 
 
 # ---------------------------------------------------------------------------

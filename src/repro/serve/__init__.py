@@ -1,0 +1,94 @@
+"""``repro.serve`` — a read-only HTTP API over sharded crawl outputs.
+
+Built entirely on the standard library's ``http.server`` (no new runtime
+dependencies), this package turns the deterministic crawl artifacts the
+pipeline already produces — sharded ``VisitLog`` JSONL files, their
+``manifest.json`` with per-shard SHA-256 digests, and the sidecar seek
+indexes — into a small, correctly cacheable service.
+
+Endpoints
+---------
+
+``GET /studies``
+    Catalog listing: one summary per study directory under the serve
+    root (id, shard count, site total, compression, dataset etag).
+``GET /studies/<id>``
+    One study's summary plus the names of the available reports.
+``GET /studies/<id>/shards``
+    Per-shard rows: file name, site count, SHA-256 digest.
+``GET /studies/<id>/sites/<rank>``
+    The full ``VisitLog`` for one site, fetched with a byte-range seek
+    through the shard's sidecar index — no whole-shard deserialization.
+``GET /studies/<id>/reports``
+    The report registry with each query's parameter schema.
+``GET /studies/<id>/reports/<name>?...``
+    A parameterized report (``top-exfiltrators``, ``top-exfiltrated``,
+    ``prevalence``, ``entity``, ``summary``) computed from the merged
+    ``Study``.  Unknown or out-of-range parameters are a 400.
+
+ETag scheme
+-----------
+
+Every response carries a strong ``ETag`` and honors ``If-None-Match``
+with ``304 Not Modified``.  Etags are pure functions of data the crawl
+pipeline already commits to disk:
+
+* the **study etag** is the SHA-256 of the manifest's shard names,
+  counts, and per-shard SHA-256 digests — it changes iff the dataset
+  bytes change, and is identical across restarts, hosts, and replicas;
+* each **resource etag** is the SHA-256 of the study etag plus the
+  canonical resource string (path plus *parsed and defaulted* query
+  parameters, sorted), so ``?limit=20`` and an omitted ``limit``
+  defaulting to 20 share one etag and one cache slot.
+
+Strength is real: bodies are rendered canonically (sorted keys, compact
+separators) from deterministic aggregation, so equal etags imply
+byte-identical bodies.
+
+Sidecar index format
+--------------------
+
+Site lookups seek rather than scan thanks to a per-shard sidecar,
+``shard-NNNN.index.json`` next to ``shard-NNNN.jsonl[.gz]``::
+
+    {"version": 1, "file": "shard-0000.jsonl.gz", "count": 3,
+     "sha256": "<digest of the shard file's bytes>",
+     "ranks": [1, 5, 9], "offsets": [0, 812, 1630],
+     "lengths": [811, 817, 809]}
+
+Offsets and lengths address the *uncompressed* JSONL stream, so one
+index format covers gzip and plain shards alike.  The sidecar is
+derived data: shard bytes, digests, and the golden fixture are
+unchanged, and a sidecar whose recorded ``sha256`` disagrees with the
+manifest digest (or is missing — e.g. pre-index crawls) is ignored in
+favor of a transparent full-scan fallback.  ``repro index-shards``
+backfills sidecars for existing studies.
+"""
+
+from .app import ServeError, StudyCatalogHandler, make_server, serve
+from .catalog import StudyCatalog, StudyEntry
+from .etag import (canonical_resource, etag_matches, listing_etag,
+                   quote_etag, resource_etag, study_etag)
+from .queries import (Param, QueryError, ReportQuery, get_query,
+                      iter_queries, parse_params)
+
+__all__ = [
+    "Param",
+    "QueryError",
+    "ReportQuery",
+    "ServeError",
+    "StudyCatalog",
+    "StudyCatalogHandler",
+    "StudyEntry",
+    "canonical_resource",
+    "etag_matches",
+    "get_query",
+    "iter_queries",
+    "listing_etag",
+    "make_server",
+    "parse_params",
+    "quote_etag",
+    "resource_etag",
+    "serve",
+    "study_etag",
+]

@@ -1,0 +1,192 @@
+"""The study catalog: sharded crawl directories as servable entities.
+
+A *catalog root* is a directory whose children are study directories —
+each one a sharded crawl output (``manifest.json`` + shard files, as
+written by ``repro crawl``/the coordinator).  A root that itself holds
+a ``manifest.json`` is treated as a single-study catalog, so ``repro
+serve some-crawl/`` just works.
+
+Each :class:`StudyEntry` wraps one study with everything the HTTP layer
+needs:
+
+* the verified :class:`~repro.crawler.storage.ShardManifest` and a
+  complete per-shard digest list (computed on first touch for
+  pre-digest manifests), from which the study's dataset etag derives;
+* seekable single-site lookup via
+  :func:`~repro.crawler.storage.read_site`, with the parsed sidecar
+  indexes memoized per entry;
+* a lazily built, cached :class:`~repro.analysis.reports.Study` —
+  aggregated by streaming shards through a
+  :class:`~repro.analysis.reports.StudyAccumulator`, never holding raw
+  logs — that the report queries run against;
+* per-rank-bucket accumulators for the prevalence-by-bucket query
+  (the same mergeable-accumulator decomposition the shard merge uses,
+  keyed by rank bucket instead of shard).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..analysis.reports import Study, StudyAccumulator
+from ..crawler.storage import (ManifestError, ShardIndex, ShardManifest,
+                               compute_digest, iter_logs, read_site)
+from ..records import VisitLog
+from .etag import listing_etag, study_etag
+
+__all__ = ["StudyCatalog", "StudyEntry"]
+
+
+class StudyEntry:
+    """One study directory, ready to serve."""
+
+    def __init__(self, study_id: str, directory: Union[str, Path]):
+        self.id = study_id
+        self.directory = Path(directory)
+        self.manifest = ShardManifest.load(self.directory)
+        self.digests = tuple(
+            self.manifest.digest_for(i) or compute_digest(self.directory / f)
+            for i, f in enumerate(self.manifest.files))
+        self.etag = study_etag(self.manifest, self.digests)
+        self._index_cache: Dict[int, Optional[ShardIndex]] = {}
+        self._study: Optional[Study] = None
+        self._buckets: Dict[int, List[Dict]] = {}
+        # Two locks so a seconds-long first aggregation (study build,
+        # bucket scan) never stalls the cheap seek-based site lookups.
+        self._lookup_lock = threading.Lock()
+        self._agg_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def is_current(self) -> bool:
+        """Does the on-disk manifest still describe this entry?
+
+        Compares the reloaded manifest structurally; a study directory
+        that was re-crawled (new digests) or re-sharded makes the entry
+        stale, and the catalog rebuilds it on the next refresh.
+        """
+        try:
+            return ShardManifest.load(self.directory).to_dict() \
+                == self.manifest.to_dict()
+        except ManifestError:
+            return False
+
+    def summary(self) -> Dict:
+        return {
+            "id": self.id,
+            "n_shards": self.manifest.n_shards,
+            "total": self.manifest.total,
+            "compress": self.manifest.compress,
+            "etag": self.etag,
+        }
+
+    def shards(self) -> List[Dict]:
+        return [{"index": i, "file": name,
+                 "count": self.manifest.counts[i], "sha256": self.digests[i]}
+                for i, name in enumerate(self.manifest.files)]
+
+    # ------------------------------------------------------------------
+    def site(self, rank: int) -> VisitLog:
+        """Single-site lookup: seek via the sidecar indexes (cached)."""
+        with self._lookup_lock:
+            return read_site(self.directory, rank, manifest=self.manifest,
+                             index_cache=self._index_cache)
+
+    def study(self) -> Study:
+        """The merged Study, built once by streaming the shards."""
+        with self._agg_lock:
+            if self._study is None:
+                acc = StudyAccumulator()
+                for log in iter_logs(self.directory):
+                    acc.add(log)
+                self._study = Study.from_accumulator(acc)
+            return self._study
+
+    def prevalence_by_bucket(self, bucket_size: int) -> List[Dict]:
+        """§5.1 prevalence figures per rank bucket, merge-aggregated.
+
+        Streams the shards once per distinct ``bucket_size``, routing
+        each log into the accumulator for its rank bucket — the same
+        associative decomposition ``Study.from_shards`` uses, so the
+        per-bucket numbers are exactly what a Study over only that
+        bucket's sites would report.
+        """
+        with self._agg_lock:
+            cached = self._buckets.get(bucket_size)
+            if cached is not None:
+                return cached
+            accs: Dict[int, StudyAccumulator] = {}
+            for log in iter_logs(self.directory):
+                bucket = log.rank // bucket_size
+                acc = accs.get(bucket)
+                if acc is None:
+                    acc = accs[bucket] = StudyAccumulator()
+                acc.add(log)
+            rows: List[Dict] = []
+            for bucket in sorted(accs):
+                acc = accs[bucket]
+                row = {"bucket": bucket,
+                       "rank_lo": bucket * bucket_size,
+                       "rank_hi": (bucket + 1) * bucket_size - 1,
+                       "n_sites": acc.n_logs}
+                row.update(Study.from_accumulator(acc).sec51_prevalence())
+                rows.append(row)
+            self._buckets[bucket_size] = rows
+            return rows
+
+
+class StudyCatalog:
+    """Discovers and caches the servable studies under a root."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self._entries: Dict[str, StudyEntry] = {}
+        self._lock = threading.Lock()
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    def _discover(self) -> Dict[str, Path]:
+        found: Dict[str, Path] = {}
+        if (self.root / "manifest.json").exists():
+            found[self.root.resolve().name or "study"] = self.root
+            return found
+        if not self.root.is_dir():
+            return found
+        for child in sorted(self.root.iterdir()):
+            if child.is_dir() and (child / "manifest.json").exists():
+                found[child.name] = child
+        return found
+
+    def refresh(self) -> None:
+        """Rescan the root; rebuild entries whose manifest changed."""
+        found = self._discover()
+        with self._lock:
+            for study_id in list(self._entries):
+                if study_id not in found:
+                    del self._entries[study_id]
+            for study_id, directory in found.items():
+                entry = self._entries.get(study_id)
+                if entry is None or not entry.is_current():
+                    self._entries[study_id] = StudyEntry(study_id, directory)
+
+    # ------------------------------------------------------------------
+    def study_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def get(self, study_id: str) -> StudyEntry:
+        with self._lock:
+            if study_id not in self._entries:
+                raise KeyError(study_id)
+            return self._entries[study_id]
+
+    def listing(self) -> List[Dict]:
+        with self._lock:
+            return [self._entries[sid].summary()
+                    for sid in sorted(self._entries)]
+
+    def etag(self) -> str:
+        with self._lock:
+            return listing_etag({sid: entry.etag
+                                 for sid, entry in self._entries.items()})

@@ -167,11 +167,22 @@ class TestCommittedBaseline:
         against must parse and cover every registered scenario."""
         from pathlib import Path
         report = load_report(
-            Path(__file__).parent.parent / "BENCH_5.quick.json")
+            Path(__file__).parent.parent / "BENCH_6.quick.json")
         registered = {s.name for s in harness.iter_scenarios()}
         assert registered <= set(report["scenarios"])
         for entry in report["scenarios"].values():
             assert entry["visits_per_sec"] > 0
+
+    def test_bench_6_records_indexed_lookup_speedup(self):
+        """BENCH_6's headline: the sidecar-indexed read_site path must
+        beat the whole-shard scan by >= 10x on the 64-shard study."""
+        from pathlib import Path
+        report = load_report(Path(__file__).parent.parent / "BENCH_6.json")
+        indexed = report["scenarios"]["site_lookup"]["visits_per_sec"]
+        scan = report["scenarios"]["site_lookup_scan"]["visits_per_sec"]
+        assert indexed >= 10 * scan
+        # Seed-vs-current continuity: BENCH_5's numbers ride along.
+        assert report["baseline"]["visit_throughput"]["visits_per_sec"] > 0
 
 
 class TestCLI:

@@ -225,3 +225,109 @@ class TestShardDigests:
         assert first.sha256 == second.sha256
         assert (tmp_path / "a" / first.name).read_bytes() \
             == (tmp_path / "b" / second.name).read_bytes()
+
+
+# ---------------------------------------------------------------------------
+# Sidecar seek indexes (PR 6): derived data, never part of the dataset
+# ---------------------------------------------------------------------------
+
+class TestShardIndexes:
+    @pytest.mark.parametrize("compress", [False, True],
+                             ids=["plain", "gzip"])
+    def test_sidecars_written_alongside_shards(self, crawl_logs, tmp_path,
+                                               compress):
+        from repro.crawler.storage import (index_filename, load_shard_index)
+        directory = tmp_path / "crawl"
+        save_logs(crawl_logs, directory, shards=3, compress=compress)
+        manifest = ShardManifest.load(directory)
+        for i, name in enumerate(manifest.files):
+            assert (directory / index_filename(name)).exists()
+            index = load_shard_index(directory, name)
+            assert index is not None
+            assert index.count == manifest.counts[i]
+            assert index.sha256 == manifest.digests[i]
+            assert list(index.ranks) == sorted(index.ranks)
+
+    def test_sidecar_does_not_change_shard_bytes_or_digests(
+            self, crawl_logs, tmp_path):
+        """The index is derived data: digests (and therefore cache keys,
+        run keys, and the golden fixture) are untouched by its
+        existence."""
+        directory = tmp_path / "crawl"
+        save_logs(crawl_logs, directory, shards=3)
+        manifest = ShardManifest.load(directory)
+        for i, name in enumerate(manifest.files):
+            assert compute_digest(directory / name) == manifest.digests[i]
+
+    @pytest.mark.parametrize("compress", [False, True],
+                             ids=["plain", "gzip"])
+    def test_read_site_indexed_equals_scan(self, crawl_logs, tmp_path,
+                                           compress):
+        from repro.crawler.storage import read_site
+        directory = tmp_path / "crawl"
+        save_logs(crawl_logs, directory, shards=3, compress=compress)
+        cache = {}
+        for log in crawl_logs:
+            indexed = read_site(directory, log.rank, index_cache=cache)
+            scanned = read_site(directory, log.rank, use_index=False)
+            assert indexed.to_dict() == log.to_dict()
+            assert scanned.to_dict() == indexed.to_dict()
+
+    def test_read_site_missing_rank_raises(self, sharded_dir):
+        from repro.crawler.storage import read_site
+        with pytest.raises(KeyError):
+            read_site(sharded_dir, 10**9)
+
+    def test_missing_sidecars_fall_back_to_scan(self, crawl_logs,
+                                                sharded_dir):
+        from repro.crawler.storage import read_site
+        for path in sharded_dir.glob("*.index.json"):
+            path.unlink()
+        log = crawl_logs[3]
+        assert read_site(sharded_dir, log.rank).to_dict() == log.to_dict()
+
+    def test_stale_sidecar_is_ignored(self, crawl_logs, sharded_dir):
+        """A sidecar whose recorded sha disagrees with the manifest
+        digest (e.g. the shard was re-crawled) must not be trusted."""
+        from repro.crawler.storage import (index_filename, load_shard_index,
+                                          read_site)
+        manifest = ShardManifest.load(sharded_dir)
+        name = manifest.files[0]
+        sidecar = sharded_dir / index_filename(name)
+        doctored = json.loads(sidecar.read_text())
+        doctored["sha256"] = "0" * 64
+        # Point the first entry at a bogus offset: a reader trusting
+        # this sidecar would return garbage instead of falling back.
+        doctored["offsets"][0] = 7
+        sidecar.write_text(json.dumps(doctored))
+        assert load_shard_index(sharded_dir, name) is not None  # loads...
+        ranks = json.loads(sidecar.read_text())["ranks"]
+        log = next(l for l in crawl_logs if l.rank == ranks[0])
+        # ...but read_site cross-checks against the manifest and scans.
+        got = read_site(sharded_dir, log.rank, manifest=manifest)
+        assert got.to_dict() == log.to_dict()
+
+    def test_torn_sidecar_is_ignored(self, crawl_logs, sharded_dir):
+        from repro.crawler.storage import (index_filename, load_shard_index,
+                                          read_site)
+        manifest = ShardManifest.load(sharded_dir)
+        name = manifest.files[0]
+        sidecar = sharded_dir / index_filename(name)
+        sidecar.write_text(sidecar.read_text()[:25])
+        assert load_shard_index(sharded_dir, name) is None
+        log = crawl_logs[0]
+        assert read_site(sharded_dir, log.rank,
+                         manifest=manifest).to_dict() == log.to_dict()
+
+    def test_backfill_rebuilds_byte_identical_sidecars(self, sharded_dir):
+        from repro.crawler.storage import build_shard_indexes, index_filename
+        manifest = ShardManifest.load(sharded_dir)
+        originals = {name: (sharded_dir / index_filename(name)).read_bytes()
+                     for name in manifest.files}
+        for name in manifest.files:
+            (sharded_dir / index_filename(name)).unlink()
+        assert build_shard_indexes(sharded_dir) == manifest.n_shards
+        for name, blob in originals.items():
+            assert (sharded_dir / index_filename(name)).read_bytes() == blob
+        # Valid sidecars are left alone on a second pass.
+        assert build_shard_indexes(sharded_dir) == 0
