@@ -159,7 +159,8 @@ def _run_bench(args: List[str]) -> None:
 
     from .perf import (DEFAULT_TOLERANCE, build_report, compare_reports,
                        current_commit, get_scenario, iter_scenarios,
-                       load_report, run_scenarios, write_report)
+                       load_report, run_scenarios, skipped_scenarios,
+                       write_report)
 
     quick = pop_switch(args, "--quick")
     list_only = pop_switch(args, "--list")
@@ -207,6 +208,9 @@ def _run_bench(args: List[str]) -> None:
         print(f"wrote {path}")
     if compare_path:
         gate = load_report(compare_path)
+        for name in skipped_scenarios(report, gate):
+            print(f"  skipped {name}: not in baseline {compare_path} "
+                  f"(new scenario, nothing to regress against)")
         regressions = compare_reports(report, gate, tolerance=tolerance)
         if regressions:
             for reg in regressions:
@@ -263,8 +267,9 @@ def _run_index_shards(args: List[str]) -> None:
         raise SystemExit(2)
     from .crawler import build_shard_indexes
     for directory in args:
-        written = build_shard_indexes(directory, force=force)
-        print(f"{directory}: wrote {written} sidecar index(es)")
+        result = build_shard_indexes(directory, force=force)
+        print(f"{directory}: {result.built} indexed, "
+              f"{result.up_to_date} up-to-date")
 
 
 def main(argv=None) -> None:

@@ -7,6 +7,11 @@ from .attribution import (
     build_ownership,
     detect_manipulations,
 )
+from .columnar import (
+    ShardBatch,
+    batch_for_ranks,
+    iter_shard_batches,
+)
 from .entities import EntityMap, default_entity_map
 from .exfiltration import (
     MIN_IDENTIFIER_LENGTH,
@@ -14,9 +19,11 @@ from .exfiltration import (
     IdentifierIndex,
     detect_exfiltration,
     split_candidates,
+    split_candidates_fast,
 )
 from .filterlists import FilterList, FilterRule, FilterRuleError, RuleOptions
-from .lists_data import LIST_NAMES, build_lists, combined_list
+from .lists_data import LIST_NAMES, build_lists, combined_list, \
+    default_combined_list
 from .reports import (
     CONSENT_SIGNAL_COOKIES,
     RankedDomain,
@@ -37,6 +44,9 @@ __all__ = [
     "SiteOwnership",
     "build_ownership",
     "detect_manipulations",
+    "ShardBatch",
+    "batch_for_ranks",
+    "iter_shard_batches",
     "EntityMap",
     "default_entity_map",
     "MIN_IDENTIFIER_LENGTH",
@@ -44,6 +54,7 @@ __all__ = [
     "IdentifierIndex",
     "detect_exfiltration",
     "split_candidates",
+    "split_candidates_fast",
     "FilterList",
     "FilterRule",
     "FilterRuleError",
@@ -51,6 +62,7 @@ __all__ = [
     "LIST_NAMES",
     "build_lists",
     "combined_list",
+    "default_combined_list",
     "CONSENT_SIGNAL_COOKIES",
     "RankedDomain",
     "Study",

@@ -168,12 +168,18 @@ class FilterRule:
 class FilterList:
     """A set of rules with domain-bucketed matching."""
 
+    #: Decision-cache entries kept before the cache resets.  URL corpora
+    #: in one study are far smaller than this; the cap only bounds
+    #: pathological inputs.
+    _CACHE_LIMIT = 1 << 16
+
     def __init__(self, rules_text: Iterable[str], name: str = "filterlist"):
         self.name = name
         self._by_domain: Dict[str, List[FilterRule]] = {}
         self._unanchored: List[FilterRule] = []
         self._exceptions: List[FilterRule] = []
         self.skipped: List[str] = []
+        self._decision_cache: Dict[Tuple, bool] = {}
         for line in rules_text:
             try:
                 rule = FilterRule(line)
@@ -216,6 +222,46 @@ class FilterList:
                                    page_domain=page_domain,
                                    is_third_party=is_third_party)
                        for exc in self._exceptions)
+
+    @property
+    def domain_sensitive(self) -> bool:
+        """Whether any rule's outcome can depend on the page domain.
+
+        Only ``$domain=`` options read ``page_domain``; lists without
+        them (all nine synthetic snapshots) decide identically for every
+        page, so the decision cache may drop the page domain from its
+        key and one site's answers serve the whole study.
+        """
+        rules = [rule for bucket in self._by_domain.values()
+                 for rule in bucket]
+        rules += self._unanchored + self._exceptions
+        return any(rule.options.include_domains or
+                   rule.options.exclude_domains for rule in rules)
+
+    def should_block_cached(self, url: str, *, resource_type: str = "script",
+                            page_domain: str = "",
+                            is_third_party: bool = True) -> bool:
+        """:meth:`should_block` behind a memo table.
+
+        Study aggregation asks about the same script URLs once per site
+        that embeds them; the full rule walk runs once per distinct
+        decision instead.  Safe because a ``FilterList`` is immutable
+        after construction.
+        """
+        sensitive = self.__dict__.get("_domain_sensitive")
+        if sensitive is None:
+            sensitive = self._domain_sensitive = self.domain_sensitive
+        key = (url, resource_type, is_third_party,
+               page_domain if sensitive else "")
+        cache = self._decision_cache
+        verdict = cache.get(key)
+        if verdict is None:
+            if len(cache) >= self._CACHE_LIMIT:
+                cache.clear()
+            verdict = cache[key] = self.should_block(
+                url, resource_type=resource_type, page_domain=page_domain,
+                is_third_party=is_third_party)
+        return verdict
 
     @classmethod
     def combine(cls, lists: Sequence["FilterList"],

@@ -28,10 +28,12 @@ from .attribution import (
     build_ownership,
     detect_manipulations,
 )
+from .columnar import (ShardBatch, build_ownership_batch,
+                       detect_exfiltration_batch, detect_manipulations_batch)
 from .entities import EntityMap, default_entity_map
 from .exfiltration import ExfilEvent, detect_exfiltration
 from .filterlists import FilterList
-from .lists_data import combined_list
+from .lists_data import default_combined_list
 
 __all__ = ["Study", "StudyAccumulator", "Table1Row", "Table2Row",
            "RankedDomain", "Table5Row", "CONSENT_SIGNAL_COOKIES"]
@@ -115,7 +117,7 @@ class StudyAccumulator:
     def __init__(self, entity_map: Optional[EntityMap] = None,
                  filter_list: Optional[FilterList] = None):
         self.entities = entity_map or default_entity_map()
-        self.filters = filter_list or combined_list()
+        self.filters = filter_list or default_combined_list()
         self.ownerships: Dict[str, SiteOwnership] = {}
         self.exfil_events: List[ExfilEvent] = []
         self.manipulations: List[CrossDomainAction] = []
@@ -161,7 +163,7 @@ class StudyAccumulator:
         for script in log.scripts:
             if script.domain is None or script.domain == log.site:
                 continue
-            blocked = bool(script.url) and self.filters.should_block(
+            blocked = bool(script.url) and self.filters.should_block_cached(
                 script.url, resource_type="script",
                 page_domain=log.site, is_third_party=True)
             self.tp_scripts_seen += 1
@@ -190,9 +192,86 @@ class StudyAccumulator:
             self.dom_mod_sites += 1
         return self
 
-    def add_all(self, logs: Iterable[VisitLog]) -> "StudyAccumulator":
-        for log in logs:
-            self.add(log)
+    def add_all(self, logs: Union[Iterable[VisitLog], ShardBatch]
+                ) -> "StudyAccumulator":
+        """Ingest many logs at once, through the columnar batch path."""
+        if isinstance(logs, ShardBatch):
+            return self.add_shard_batch(logs)
+        return self.add_shard_batch(ShardBatch.from_logs(list(logs)))
+
+    def add_shard_batch(self, batch: ShardBatch) -> "StudyAccumulator":
+        """Ingest a whole :class:`~repro.analysis.columnar.ShardBatch`.
+
+        Exactly :meth:`add` applied to every log in the batch — same
+        state, same report output, pinned by the equivalence suite —
+        but each pass is a tight loop over the batch's columns.
+        """
+        should_block = self.filters.should_block_cached
+        pairs_by_api = self.pairs_by_api
+        store_name_counts = self.store_name_counts
+        sites = batch.sites
+        for i in range(len(batch)):
+            site = sites[i]
+            ownership = build_ownership_batch(batch, i)
+            self.ownerships[site] = ownership
+            creators = ownership.creators
+            for name, api in ownership.apis.items():
+                if api in pairs_by_api:
+                    creator = creators.get(name)
+                    if creator is not None:
+                        pairs_by_api[api].add(CookiePair(name, creator))
+            self.exfil_events.extend(detect_exfiltration_batch(
+                batch, i, ownership))
+            self.manipulations.extend(detect_manipulations_batch(
+                batch, i, ownership))
+
+            self.n_logs += 1
+            n_tp = batch.n_tp[i]
+            if n_tp > 0:
+                self.sites_with_tp += 1
+            self.tp_script_total += n_tp
+            self.direct_total += batch.n_direct[i]
+            self.indirect_total += batch.n_indirect[i]
+            s_domain = batch.s_domain
+            s_url = batch.s_url
+            s_inclusion = batch.s_inclusion
+            for j in range(batch.s_off[i], batch.s_off[i + 1]):
+                domain = s_domain[j]
+                if domain is None or domain == site:
+                    continue
+                url = s_url[j]
+                blocked = bool(url) and should_block(
+                    url, resource_type="script", page_domain=site,
+                    is_third_party=True)
+                self.tp_scripts_seen += 1
+                if blocked:
+                    self.tracking_hits += 1
+                if s_inclusion[j] == "indirect":
+                    self.indirect_seen += 1
+                    if blocked:
+                        self.indirect_tracking += 1
+            w_lo, w_hi = batch.w_off[i], batch.w_off[i + 1]
+            apis = set(batch.w_api[w_lo:w_hi])
+            apis.update(batch.r_api[batch.r_off[i]:batch.r_off[i + 1]])
+            if API_DOCUMENT_COOKIE in apis:
+                self.doc_api_sites += 1
+            if API_COOKIE_STORE in apis:
+                self.store_api_sites += 1
+            w_kind = batch.w_kind
+            w_api = batch.w_api
+            w_name = batch.w_name
+            w_script_domain = batch.w_script_domain
+            for j in range(w_lo, w_hi):
+                if w_kind[j] in ("set", "overwrite"):
+                    if w_api[j] == API_COOKIE_STORE:
+                        store_name_counts[w_name[j]] += 1
+                    actor = w_script_domain[j]
+                    if actor is not None and actor != site:
+                        self.tp_set_writes += 1
+                    else:
+                        self.fp_set_writes += 1
+            if any(batch.d_cross[batch.d_off[i]:batch.d_off[i + 1]]):
+                self.dom_mod_sites += 1
         return self
 
     # ------------------------------------------------------------------
@@ -299,16 +378,17 @@ class Study:
     @classmethod
     def from_shards(cls,
                     shards: Iterable[Union[Sequence[VisitLog],
-                                           StudyAccumulator]],
+                                           StudyAccumulator, ShardBatch]],
                     entity_map: Optional[EntityMap] = None,
                     filter_list: Optional[FilterList] = None,
                     keep_logs: bool = True) -> "Study":
-        """Build a study from per-shard log lists or accumulators.
+        """Build a study from per-shard log lists, batches, or accumulators.
 
         The result is identical to ``Study(concatenated_logs)`` for every
         table/figure/section accessor, for *any* partition of the logs
         into shards and any shard order.  Pass ``keep_logs=False`` (or
-        pre-built accumulators) to avoid retaining raw logs in memory.
+        pre-built accumulators, or :class:`ShardBatch` shards with
+        ``keep_logs=False``) to avoid retaining raw logs in memory.
 
         Like :meth:`StudyAccumulator.merged`, omitted ``entity_map``/
         ``filter_list`` are adopted from the first accumulator shard, so
@@ -326,9 +406,15 @@ class Study:
         for shard in shards:
             if isinstance(shard, StudyAccumulator):
                 acc.update(shard)
+                continue
+            part = StudyAccumulator(entity_map, filter_list)
+            if isinstance(shard, ShardBatch):
+                part.add_shard_batch(shard)
+                acc.update(part)
+                if keep_logs:
+                    kept.extend(shard.logs())
             else:
                 shard_logs = list(shard)
-                part = StudyAccumulator(entity_map, filter_list)
                 part.add_all(shard_logs)
                 acc.update(part)
                 if keep_logs:

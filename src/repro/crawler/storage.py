@@ -33,13 +33,14 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import (Dict, Iterable, Iterator, List, Optional, Sequence,
-                    Tuple, Union)
+from typing import (Dict, Iterable, Iterator, List, NamedTuple, Optional,
+                    Sequence, Tuple, Union)
 
 from .logs import VisitLog
 
 __all__ = [
     "CrawlDataset",
+    "IndexBuildResult",
     "ManifestError",
     "SHARD_FORMAT_VERSION",
     "SHARD_INDEX_VERSION",
@@ -49,10 +50,13 @@ __all__ = [
     "build_shard_indexes",
     "compute_digest",
     "index_filename",
+    "iter_dict_batches",
+    "iter_dicts",
     "iter_logs",
     "load_logs",
     "load_shard_index",
     "read_site",
+    "read_site_line",
     "save_logs",
     "shard_filename",
     "verify_shard_files",
@@ -511,20 +515,19 @@ def _load_valid_index(directory: Path, manifest: ShardManifest,
     return index
 
 
-def read_site(directory: Union[str, Path], rank: int, *,
-              manifest: Optional[ShardManifest] = None,
-              use_index: bool = True,
-              index_cache: Optional[Dict[int, Optional[ShardIndex]]] = None
-              ) -> VisitLog:
-    """Fetch one site's :class:`VisitLog` from a sharded dataset by rank.
+def read_site_line(directory: Union[str, Path], rank: int, *,
+                   manifest: Optional[ShardManifest] = None,
+                   use_index: bool = True,
+                   index_cache: Optional[Dict[int, Optional[ShardIndex]]]
+                   = None) -> bytes:
+    """Fetch one site's raw JSON line from a sharded dataset by rank.
 
-    With sidecar indexes this is a seek plus a one-line parse; shards
-    without a usable index fall back to a transparent full line scan
-    (``use_index=False`` forces that path, for equivalence tests and
-    benchmarks).  ``index_cache`` — a caller-owned dict keyed by shard
-    position — memoizes parsed sidecars across calls, which is what the
-    :mod:`repro.serve` catalog does per study.  Raises :class:`KeyError`
-    when no shard holds ``rank``.
+    The seek primitive under :func:`read_site`, exposed so the columnar
+    decode path (:func:`repro.analysis.columnar.batch_for_ranks`) can go
+    straight from bytes to columns without materializing a
+    :class:`VisitLog`.  Same index/fallback contract as
+    :func:`read_site`; raises :class:`KeyError` when no shard holds
+    ``rank``.
     """
     directory = Path(directory)
     if manifest is None:
@@ -546,8 +549,7 @@ def read_site(directory: Union[str, Path], rank: int, *,
         if entry is None:
             continue
         offset, length = entry
-        line = _read_line_at(directory / name, offset, length)
-        return VisitLog.from_dict(json.loads(line))
+        return _read_line_at(directory / name, offset, length)
     for pos in unindexed:
         path = directory / manifest.files[pos]
         with _open(path, "r") as handle:
@@ -557,25 +559,56 @@ def read_site(directory: Union[str, Path], rank: int, *,
                     continue
                 data = json.loads(line)
                 if int(data.get("rank", -1)) == rank:
-                    return VisitLog.from_dict(data)
+                    return line.encode("utf-8")
     raise KeyError(f"rank {rank} is not in the dataset at {directory}")
 
 
+def read_site(directory: Union[str, Path], rank: int, *,
+              manifest: Optional[ShardManifest] = None,
+              use_index: bool = True,
+              index_cache: Optional[Dict[int, Optional[ShardIndex]]] = None
+              ) -> VisitLog:
+    """Fetch one site's :class:`VisitLog` from a sharded dataset by rank.
+
+    With sidecar indexes this is a seek plus a one-line parse; shards
+    without a usable index fall back to a transparent full line scan
+    (``use_index=False`` forces that path, for equivalence tests and
+    benchmarks).  ``index_cache`` — a caller-owned dict keyed by shard
+    position — memoizes parsed sidecars across calls, which is what the
+    :mod:`repro.serve` catalog does per study.  Raises :class:`KeyError`
+    when no shard holds ``rank``.
+    """
+    line = read_site_line(directory, rank, manifest=manifest,
+                          use_index=use_index, index_cache=index_cache)
+    return VisitLog.from_dict(json.loads(line))
+
+
+class IndexBuildResult(NamedTuple):
+    """What :func:`build_shard_indexes` did: sidecars written vs kept."""
+
+    built: int
+    up_to_date: int
+
+
 def build_shard_indexes(directory: Union[str, Path],
-                        force: bool = False) -> int:
+                        force: bool = False) -> IndexBuildResult:
     """Backfill sidecar indexes for a sharded dataset (one-shot).
 
     Scans every shard that lacks a usable sidecar (or all of them with
     ``force=True``), recording each line's rank, uncompressed byte
-    offset, and length.  Returns the number of sidecars written.  Safe
-    to re-run: up-to-date sidecars are left alone.
+    offset, and length.  Returns how many sidecars were written and how
+    many already matched their shard's pinned digest and were left
+    untouched — safe to re-run, and the split makes "nothing to do"
+    visible to the CLI instead of indistinguishable from a rebuild.
     """
     directory = Path(directory)
     manifest = ShardManifest.load(directory)
     built = 0
+    up_to_date = 0
     for pos, name in enumerate(manifest.files):
         if not force and _load_valid_index(directory, manifest, pos) \
                 is not None:
+            up_to_date += 1
             continue
         path = directory / name
         digest = manifest.digest_for(pos) or compute_digest(path)
@@ -596,31 +629,37 @@ def build_shard_indexes(directory: Union[str, Path],
             file=name, count=len(ranks), sha256=digest,
             ranks=ranks, offsets=offsets, lengths=lengths))
         built += 1
-    return built
+    return IndexBuildResult(built=built, up_to_date=up_to_date)
 
 
 # ---------------------------------------------------------------------------
 # Reading
 # ---------------------------------------------------------------------------
 
-def _iter_file(path: Path) -> Iterator[VisitLog]:
+def _iter_file_dicts(path: Path) -> Iterator[Dict]:
     with _open(path, "r") as handle:
         for line in handle:
             line = line.strip()
             if line:
-                yield VisitLog.from_dict(json.loads(line))
+                yield json.loads(line)
 
 
-def iter_logs(path: Union[str, Path]) -> Iterator[VisitLog]:
-    """Stream a dataset one :class:`VisitLog` at a time.
+def _iter_file(path: Path) -> Iterator[VisitLog]:
+    for data in _iter_file_dicts(path):
+        yield VisitLog.from_dict(data)
 
-    Accepts a single JSONL file or a sharded directory; shards stream in
-    index order and each shard's log count is checked against the
-    manifest (:class:`ManifestError` on mismatch or missing files).
+
+def iter_dicts(path: Union[str, Path]) -> Iterator[Dict]:
+    """Stream a dataset one parsed-JSON dict at a time.
+
+    The decode layer under :func:`iter_logs`, with the identical layout
+    handling and manifest validation, but stopping at dicts — what the
+    columnar batch path consumes, skipping the per-event dataclass
+    construction entirely.
     """
     path = Path(path)
     if not path.is_dir():
-        yield from _iter_file(path)
+        yield from _iter_file_dicts(path)
         return
     manifest = ShardManifest.load(path)
     for index, (name, expected) in enumerate(zip(manifest.files,
@@ -630,9 +669,9 @@ def iter_logs(path: Union[str, Path]) -> Iterator[VisitLog]:
             raise ManifestError(f"manifest lists missing shard {name}")
         seen = 0
         try:
-            for log in _iter_file(shard_path):
+            for data in _iter_file_dicts(shard_path):
                 seen += 1
-                yield log
+                yield data
         except ManifestError:
             raise
         except (OSError, EOFError, UnicodeDecodeError,
@@ -648,6 +687,33 @@ def iter_logs(path: Union[str, Path]) -> Iterator[VisitLog]:
             raise ManifestError(
                 f"shard {index} ({name}) holds {seen} logs, "
                 f"manifest says {expected}")
+
+
+def iter_dict_batches(path: Union[str, Path],
+                      batch_size: int = 512) -> Iterator[List[Dict]]:
+    """Stream a dataset as lists of parsed-JSON dicts (same validation
+    as :func:`iter_logs`); memory stays O(batch), not O(dataset)."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    batch: List[Dict] = []
+    for data in iter_dicts(path):
+        batch.append(data)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def iter_logs(path: Union[str, Path]) -> Iterator[VisitLog]:
+    """Stream a dataset one :class:`VisitLog` at a time.
+
+    Accepts a single JSONL file or a sharded directory; shards stream in
+    index order and each shard's log count is checked against the
+    manifest (:class:`ManifestError` on mismatch or missing files).
+    """
+    for data in iter_dicts(path):
+        yield VisitLog.from_dict(data)
 
 
 def verify_shard_files(directory: Union[str, Path],

@@ -27,6 +27,7 @@ from .harness import (
     load_report,
     register,
     run_scenarios,
+    skipped_scenarios,
     write_report,
 )
 
@@ -44,5 +45,6 @@ __all__ = [
     "load_report",
     "register",
     "run_scenarios",
+    "skipped_scenarios",
     "write_report",
 ]

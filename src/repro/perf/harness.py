@@ -45,6 +45,7 @@ __all__ = [
     "register",
     "run_scenarios",
     "scenario",
+    "skipped_scenarios",
     "write_report",
 ]
 
@@ -312,3 +313,15 @@ def compare_reports(current: Dict, baseline: Dict,
                                           baseline_rate=base_rate,
                                           current_rate=cur_rate))
     return regressions
+
+
+def skipped_scenarios(current: Dict, baseline: Dict) -> List[str]:
+    """Scenarios measured in ``current`` but absent from ``baseline``.
+
+    :func:`compare_reports` silently ignores these (a new scenario has
+    nothing to regress against); the CLI surfaces them as an explicit
+    skip note so a gate pass is never mistaken for coverage.
+    """
+    base = baseline.get("scenarios", baseline)
+    cur = current.get("scenarios", current)
+    return sorted(set(cur) - set(base))

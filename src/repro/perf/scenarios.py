@@ -122,6 +122,64 @@ register(Scenario(
 ))
 
 
+def _sharded_state(n_sites: int, sample: int, n_shards: int):
+    # A written study directory; the timed run streams it back.  The
+    # TemporaryDirectory rides along so its finalizer cleans up when
+    # the bench run drops the state.
+    from ..crawler.storage import save_logs
+    logs = _logs_state(n_sites, sample)
+    scratch = tempfile.TemporaryDirectory(prefix="repro-bench-columnar-")
+    save_logs(logs, Path(scratch.name), shards=n_shards, compress=True)
+    return (Path(scratch.name), len(logs), scratch)
+
+
+def _columnar_study_run(state) -> int:
+    from ..analysis import Study
+    from ..analysis.columnar import iter_shard_batches
+    from ..analysis.reports import StudyAccumulator
+    directory, n_logs, _scratch = state
+    acc = StudyAccumulator()
+    for batch in iter_shard_batches(directory):
+        acc.add_shard_batch(batch)
+    study = Study.from_accumulator(acc)
+    assert study.n_sites == n_logs
+    return n_logs
+
+
+register(Scenario(
+    name="study_analysis_columnar",
+    description="shard bytes -> columnar batches -> merged Study "
+                "(the serve catalog's aggregation path: decode once, "
+                "no per-event objects)",
+    setup=lambda: _sharded_state(120, 100, 4),
+    quick_setup=lambda: _sharded_state(40, 25, 2),
+    run=_columnar_study_run,
+    units="visits",
+))
+
+
+def _shard_decode_run(state) -> int:
+    from ..analysis.columnar import iter_shard_batches
+    directory, n_logs, _scratch = state
+    decoded = 0
+    for batch in iter_shard_batches(directory):
+        decoded += len(batch)
+    assert decoded == n_logs
+    return n_logs
+
+
+register(Scenario(
+    name="shard_decode",
+    description="gzip shard JSONL -> ShardBatch columns (the decode "
+                "half of the columnar pipeline, isolated from the "
+                "report passes)",
+    setup=lambda: _sharded_state(120, 100, 4),
+    quick_setup=lambda: _sharded_state(40, 25, 2),
+    run=_shard_decode_run,
+    units="visits",
+))
+
+
 def _shard_state(n_sites: int, sample: int):
     # The scratch directory is part of setup, not of the timed run —
     # each repetition overwrites the same shard file, so only

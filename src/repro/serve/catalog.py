@@ -30,9 +30,10 @@ import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from ..analysis.columnar import iter_shard_batches
 from ..analysis.reports import Study, StudyAccumulator
 from ..crawler.storage import (ManifestError, ShardIndex, ShardManifest,
-                               compute_digest, iter_logs, read_site)
+                               compute_digest, read_site)
 from ..records import VisitLog
 from .etag import listing_etag, study_etag
 
@@ -94,35 +95,43 @@ class StudyEntry:
                              index_cache=self._index_cache)
 
     def study(self) -> Study:
-        """The merged Study, built once by streaming the shards."""
+        """The merged Study, built once by streaming the shards.
+
+        Shards decode straight into columnar batches (JSON → columns,
+        no per-event objects), each consumed whole by the accumulator.
+        """
         with self._agg_lock:
             if self._study is None:
                 acc = StudyAccumulator()
-                for log in iter_logs(self.directory):
-                    acc.add(log)
+                for batch in iter_shard_batches(self.directory):
+                    acc.add_shard_batch(batch)
                 self._study = Study.from_accumulator(acc)
             return self._study
 
     def prevalence_by_bucket(self, bucket_size: int) -> List[Dict]:
         """§5.1 prevalence figures per rank bucket, merge-aggregated.
 
-        Streams the shards once per distinct ``bucket_size``, routing
-        each log into the accumulator for its rank bucket — the same
-        associative decomposition ``Study.from_shards`` uses, so the
-        per-bucket numbers are exactly what a Study over only that
-        bucket's sites would report.
+        Streams the shards once per distinct ``bucket_size`` as columnar
+        batches, routing each batch's rows into per-bucket sub-batches
+        (:meth:`~repro.analysis.columnar.ShardBatch.select` — a column
+        gather, no objects) — the same associative decomposition
+        ``Study.from_shards`` uses, so the per-bucket numbers are
+        exactly what a Study over only that bucket's sites would report.
         """
         with self._agg_lock:
             cached = self._buckets.get(bucket_size)
             if cached is not None:
                 return cached
             accs: Dict[int, StudyAccumulator] = {}
-            for log in iter_logs(self.directory):
-                bucket = log.rank // bucket_size
-                acc = accs.get(bucket)
-                if acc is None:
-                    acc = accs[bucket] = StudyAccumulator()
-                acc.add(log)
+            for batch in iter_shard_batches(self.directory):
+                by_bucket: Dict[int, List[int]] = {}
+                for i, rank in enumerate(batch.ranks):
+                    by_bucket.setdefault(rank // bucket_size, []).append(i)
+                for bucket, indices in by_bucket.items():
+                    acc = accs.get(bucket)
+                    if acc is None:
+                        acc = accs[bucket] = StudyAccumulator()
+                    acc.add_shard_batch(batch.select(indices))
             rows: List[Dict] = []
             for bucket in sorted(accs):
                 acc = accs[bucket]

@@ -1,6 +1,6 @@
-"""Property-style equivalence of the PR 5 fast paths.
+"""Property-style equivalence of the PR 5 + PR 7 fast paths.
 
-Every optimization in the hot-path sweep claims "same answers, fewer
+Every optimization in the hot-path sweeps claims "same answers, fewer
 cycles".  This suite makes that claim falsifiable with randomized
 inputs:
 
@@ -10,7 +10,11 @@ inputs:
   implementation (same cookies, same order, same touch effects);
 * the compact single-buffer shard serializer round-trips the golden
   fixture byte-for-byte against a line-at-a-time reference;
-* ``ShardKeyFactory`` keys == the original whole-payload hash.
+* ``ShardKeyFactory`` keys == the original whole-payload hash;
+* the columnar analysis pipeline (``ShardBatch`` + batch report
+  passes) == the per-log object path, down to the report bytes, over
+  randomly seeded crawled populations — and batch-built accumulators
+  merge associatively.
 
 Randomness is seeded — failures reproduce.
 """
@@ -366,6 +370,184 @@ class TestShardKeyFactoryEquivalence:
         assert "population_fp" not in data and "config_fp" not in data
         factory = WorkSpec.from_dict(data).key_factory()
         assert len(factory.key_for((0, 1))) == 64
+
+
+def _report_blob(study) -> str:
+    """Every §5 report of a Study as one canonical JSON string.
+
+    Byte equality of this blob is the PR 7 equivalence bar: the
+    columnar path may order intermediate event lists differently, but
+    every emitted report table/figure must be identical bytes.
+    """
+    import dataclasses
+    payload = {
+        "sec51_prevalence": study.sec51_prevalence(),
+        "sec52_api_usage": study.sec52_api_usage(),
+        "table1": [dataclasses.asdict(r) for r in study.table1()],
+        "table2": [dataclasses.asdict(r) for r in study.table2()],
+        "figure2": [dataclasses.asdict(r) for r in study.figure2()],
+        "sec55_overwrite": study.sec55_overwrite_attributes(),
+        "table5": [dataclasses.asdict(r) for r in study.table5()],
+        "figure8": {key: [dataclasses.asdict(r) for r in rows]
+                    for key, rows in study.figure8().items()},
+        "sec56_inclusion": study.sec56_inclusion(),
+        "sec8_dom_pilot": study.sec8_dom_pilot(),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _object_path_study(logs):
+    """The pre-PR7 reference: one ``StudyAccumulator.add`` per log."""
+    from repro.analysis.reports import Study, StudyAccumulator
+    acc = StudyAccumulator()
+    for log in logs:
+        acc.add(log)
+    return Study.from_accumulator(acc)
+
+
+class TestColumnarEquivalence:
+    """``ShardBatch`` analysis == per-log object analysis, byte for byte."""
+
+    def _crawled(self, seed: int, n_sites: int = 40):
+        from repro.crawler import CrawlConfig, Crawler
+        from repro.ecosystem import PopulationConfig, generate_population
+        population = generate_population(
+            PopulationConfig(n_sites=n_sites, seed=seed))
+        return Crawler(population, CrawlConfig(seed=seed)).crawl(
+            population.successful_sites(), keep_incomplete=True)
+
+    @pytest.mark.parametrize("seed", [3, 11, 2025])
+    def test_random_populations_report_identical_bytes(self, seed):
+        from repro.analysis.columnar import ShardBatch
+        from repro.analysis.reports import Study, StudyAccumulator
+        logs = self._crawled(seed)
+        reference = _report_blob(_object_path_study(logs))
+        # Path 1: Study(logs) — routes through ShardBatch.from_logs.
+        assert _report_blob(Study(logs)) == reference
+        # Path 2: an explicit batch fed whole to an accumulator.
+        acc = StudyAccumulator()
+        acc.add_shard_batch(ShardBatch.from_logs(logs))
+        assert _report_blob(Study.from_accumulator(acc)) == reference
+
+    def test_shard_dict_decode_matches_object_path(self, tmp_path):
+        """JSON dicts → columns (no VisitLog objects) == object path."""
+        from repro.analysis.columnar import iter_shard_batches
+        from repro.analysis.reports import Study, StudyAccumulator
+        from repro.crawler.storage import save_logs
+        logs = self._crawled(7)
+        save_logs(logs, tmp_path, shards=3, compress=True)
+        acc = StudyAccumulator()
+        for batch in iter_shard_batches(tmp_path):
+            acc.add_shard_batch(batch)
+        assert _report_blob(Study.from_accumulator(acc)) == \
+            _report_blob(_object_path_study(logs))
+
+    def test_batch_object_view_round_trips(self, crawl_logs):
+        """``ShardBatch.logs()`` rebuilds the exact VisitLog dicts."""
+        from repro.analysis.columnar import ShardBatch
+        logs = list(crawl_logs[:60])
+        batch = ShardBatch.from_logs(logs)
+        assert len(batch) == len(logs)
+        assert [log.to_dict() for log in batch.logs()] == \
+            [log.to_dict() for log in logs]
+
+    def test_select_is_a_pure_column_gather(self, crawl_logs):
+        from repro.analysis.columnar import ShardBatch
+        logs = list(crawl_logs[:40])
+        batch = ShardBatch.from_logs(logs)
+        indices = [31, 2, 17, 2, 0]
+        sub = batch.select(indices)
+        assert [log.to_dict() for log in sub.logs()] == \
+            [logs[i].to_dict() for i in indices]
+
+    def test_merge_is_associative_on_report_bytes(self, crawl_logs):
+        """merge(a, merge(b, c)) == merge(merge(a, b), c) — the property
+        the shard merge, the serve catalog, and the rank-bucket
+        decomposition all rely on."""
+        from repro.analysis.columnar import ShardBatch
+        from repro.analysis.reports import Study, StudyAccumulator
+        logs = list(crawl_logs[:90])
+        thirds = [logs[0:30], logs[30:60], logs[60:90]]
+
+        def acc_of(chunk):
+            acc = StudyAccumulator()
+            acc.add_shard_batch(ShardBatch.from_logs(chunk))
+            return acc
+
+        a_then_bc = StudyAccumulator()
+        a_then_bc.update(acc_of(thirds[0]))
+        bc = StudyAccumulator()
+        bc.update(acc_of(thirds[1]))
+        bc.update(acc_of(thirds[2]))
+        a_then_bc.update(bc)
+
+        ab_then_c = StudyAccumulator()
+        ab = StudyAccumulator()
+        ab.update(acc_of(thirds[0]))
+        ab.update(acc_of(thirds[1]))
+        ab_then_c.update(ab)
+        ab_then_c.update(acc_of(thirds[2]))
+
+        left = _report_blob(Study.from_accumulator(a_then_bc))
+        right = _report_blob(Study.from_accumulator(ab_then_c))
+        assert left == right
+        # And both equal the unsplit whole.
+        assert left == _report_blob(Study.from_accumulator(acc_of(logs)))
+
+    def test_golden_fixture_through_the_batch_path(self):
+        from repro.analysis.columnar import ShardBatch
+        from repro.analysis.reports import Study, StudyAccumulator
+        entries = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        logs = [VisitLog.from_dict(e) for e in entries]
+        reference = _report_blob(_object_path_study(logs))
+        assert _report_blob(Study(logs)) == reference
+        # from_dicts: straight off the JSON entries, no objects built.
+        acc = StudyAccumulator()
+        acc.add_shard_batch(ShardBatch.from_dicts(entries))
+        assert _report_blob(Study.from_accumulator(acc)) == reference
+
+
+class TestSplitCandidatesFastEquivalence:
+    CORPUS = [
+        "", "short", "abcdefgh", "abcdefg",  # boundary at MIN length
+        "uid=4f3a9b2c1d8e7f60&session=zzzz; theme=dark",
+        "a" * 7 + "-" + "b" * 8 + "_" + "c" * 64,
+        "%7Btoken%7D=ABCDEFGH12345678&x=----",
+        "trailing-run-ends-here-0123456789abcdef",
+        "0123456789abcdef",  # one pure run, no delimiters
+        # Non-ASCII: isalnum() admits these, the ASCII class must not —
+        # the fast path has to fall back to the reference loop.
+        "αβγδεζηθικλμνξο",
+        "abcd1234日本語efgh5678",
+        "Ωmega-uid-ABCDEFGH87654321",
+        "é" * 10 + "&" + "x" * 12,
+        "ＡＢＣＤＥＦＧＨ",  # fullwidth letters are alnum too
+    ]
+
+    def test_fixed_corpus_agrees_with_reference(self):
+        from repro.analysis.exfiltration import (split_candidates,
+                                                 split_candidates_fast)
+        for value in self.CORPUS:
+            assert split_candidates_fast(value) == \
+                split_candidates(value), value
+
+    def test_randomized_values_agree_with_reference(self):
+        from repro.analysis.exfiltration import (split_candidates,
+                                                 split_candidates_fast)
+        rng = random.Random(2025)
+        alphabet = ("abcXYZ0189" + "-_.;&= %" + "éλ語Ω")
+        for trial in range(400):
+            value = "".join(rng.choice(alphabet)
+                            for _ in range(rng.randint(0, 80)))
+            assert split_candidates_fast(value) == \
+                split_candidates(value), (trial, value)
+
+    def test_encoded_forms_cache_is_pure(self):
+        from repro.analysis.exfiltration import encoded_forms_cached
+        from repro.encoding import encoded_forms
+        for candidate in ["abcdefgh", "4f3a9b2c1d8e7f60", "abcdefgh"]:
+            assert encoded_forms_cached(candidate) == \
+                encoded_forms(candidate)
 
 
 class TestAtomicManifestSave:

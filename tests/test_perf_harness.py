@@ -141,6 +141,14 @@ class TestRegressionGate:
         base = self._report(old_one=1000.0)
         assert compare_reports(cur, base, tolerance=0.25) == []
 
+    def test_skipped_scenarios_are_reported_by_name(self):
+        from repro.perf import skipped_scenarios
+        cur = self._report(a=1.0, brand_new=2.0, other_new=3.0)
+        base = self._report(a=1.0, retired=9.0)
+        assert skipped_scenarios(cur, base) == ["brand_new", "other_new"]
+        assert skipped_scenarios(base, cur) == ["retired"]
+        assert skipped_scenarios(cur, cur) == []
+
     def test_bad_tolerance_rejected(self):
         with pytest.raises(ValueError):
             compare_reports(self._report(), self._report(), tolerance=1.5)
@@ -167,11 +175,23 @@ class TestCommittedBaseline:
         against must parse and cover every registered scenario."""
         from pathlib import Path
         report = load_report(
-            Path(__file__).parent.parent / "BENCH_6.quick.json")
+            Path(__file__).parent.parent / "BENCH_7.quick.json")
         registered = {s.name for s in harness.iter_scenarios()}
         assert registered <= set(report["scenarios"])
         for entry in report["scenarios"].values():
             assert entry["visits_per_sec"] > 0
+
+    def test_bench_7_records_columnar_speedup(self):
+        """BENCH_7's headline: the columnar sweep must put
+        study_analysis at >= 3x its BENCH_6 rate (the PR 7 gate),
+        with the BENCH_6 numbers embedded as the baseline."""
+        from pathlib import Path
+        report = load_report(Path(__file__).parent.parent / "BENCH_7.json")
+        assert report["speedup"]["study_analysis"] >= 3.0
+        assert report["baseline"]["study_analysis"]["visits_per_sec"] > 0
+        # The new scenarios land with this trajectory point.
+        assert "study_analysis_columnar" in report["scenarios"]
+        assert "shard_decode" in report["scenarios"]
 
     def test_bench_6_records_indexed_lookup_speedup(self):
         """BENCH_6's headline: the sidecar-indexed read_site path must

@@ -109,7 +109,11 @@ class TestRouting:
         ("/studies/demo/reports/nope", 404),
         ("/studies/demo/reports/top-exfiltrators?limit=x", 400),
         ("/studies/demo/reports/top-exfiltrators?limit=0", 400),
+        ("/studies/demo/reports/top-exfiltrators?limit=501", 400),
+        ("/studies/demo/reports/top-exfiltrators?limit=1&limit=2", 400),
         ("/studies/demo/reports/top-exfiltrators?frobnicate=1", 400),
+        ("/studies/demo/reports/prevalence?bucket=0", 400),
+        ("/studies/demo/reports/prevalence?bucket=1.5", 400),
         ("/studies/demo/reports/entity", 400),     # missing required name
         ("/studies/demo/shards?x=1", 400),         # takes no params
         ("/nope", 404),
@@ -119,6 +123,10 @@ class TestRouting:
         assert got == status
         payload = json.loads(body)
         assert payload["status"] == status and payload["error"]
+        # A rejected request is not a cacheable resource: no ETag, and
+        # the body is the structured error, never an HTML traceback.
+        assert "ETag" not in headers
+        assert headers["Content-Type"].startswith("application/json")
 
 
 class TestETags:

@@ -326,8 +326,11 @@ class TestShardIndexes:
                      for name in manifest.files}
         for name in manifest.files:
             (sharded_dir / index_filename(name)).unlink()
-        assert build_shard_indexes(sharded_dir) == manifest.n_shards
+        result = build_shard_indexes(sharded_dir)
+        assert (result.built, result.up_to_date) == (manifest.n_shards, 0)
         for name, blob in originals.items():
             assert (sharded_dir / index_filename(name)).read_bytes() == blob
-        # Valid sidecars are left alone on a second pass.
-        assert build_shard_indexes(sharded_dir) == 0
+        # Valid sidecars are left alone on a second pass — and counted,
+        # so the CLI can report "N indexed, M up-to-date" truthfully.
+        result = build_shard_indexes(sharded_dir)
+        assert (result.built, result.up_to_date) == (0, manifest.n_shards)
