@@ -21,6 +21,17 @@ crawl-shard SPEC INDEX [--cache-dir D]
     With ``--cache-dir`` the worker consults/backfills a shard cache on
     its own side (keyed by the fingerprints the spec carries), so a
     repeat shard costs zero visits
+analyze DATASET [--snapshot PATH] [--resume] [--report F]
+    run the §5 analysis over a crawl dataset (single ``.jsonl[.gz]``
+    file or sharded directory) and print the headline prevalence
+    numbers.  With ``--snapshot PATH`` the per-shard accumulator state
+    is saved as a versioned snapshot (sharded datasets only); with
+    ``--resume`` an existing snapshot at PATH is diffed against the
+    dataset's current shard digests and only changed/added shards are
+    re-analyzed — O(delta), not O(population) — with unchanged shards
+    merged from their saved state.  ``--report F`` writes the full
+    canonical report JSON (byte-identical for identical studies, the
+    equivalence the snapshot tests pin)
 bench [SCENARIO ...] [--quick] [--repeats R] [--warmup W] [--out F]
       [--baseline F] [--compare F] [--tolerance T] [--list]
     run the perf harness (``repro.perf``): registered scenarios with
@@ -151,6 +162,62 @@ def _run_crawl(args: List[str]) -> None:
         written = save_logs(logs, out)
         print(f"saved {written} visit logs to {out} "
               f"(jobs={jobs}, concurrency={concurrency})")
+
+
+def _run_analyze(args: List[str]) -> None:
+    """Analyze a crawl dataset, optionally through the snapshot layer."""
+    from pathlib import Path
+
+    snapshot_path = pop_flag(args, "--snapshot")
+    resume = pop_switch(args, "--resume")
+    report_out = pop_flag(args, "--report")
+    reject_unknown_flags(args)
+    if len(args) != 1:
+        print("analyze needs exactly one DATASET (file or sharded dir)")
+        raise SystemExit(2)
+    if resume and not snapshot_path:
+        print("analyze: --resume requires --snapshot PATH")
+        raise SystemExit(2)
+    dataset = Path(args[0])
+
+    from .analysis.reports import Study, StudyAccumulator
+    if snapshot_path:
+        if not dataset.is_dir():
+            print("analyze: --snapshot needs a sharded dataset directory "
+                  "(snapshots are diffed against per-shard digests)")
+            raise SystemExit(2)
+        from .analysis.snapshot import (SnapshotError, load_snapshot,
+                                        refresh_study, save_snapshot)
+        old = None
+        if resume and Path(snapshot_path).exists():
+            try:
+                old = load_snapshot(snapshot_path)
+            except SnapshotError as exc:
+                print(f"analyze: {exc}")
+                raise SystemExit(1)
+        try:
+            result = refresh_study(old, dataset)
+        except SnapshotError as exc:
+            print(f"analyze: {exc}")
+            raise SystemExit(1)
+        save_snapshot(result.snapshot, snapshot_path)
+        study = result.snapshot.study()
+        print(f"analyzed {dataset}: {study.n_sites} sites "
+              f"(reused={len(result.reused)}, "
+              f"re-ingested={len(result.reingested)}, "
+              f"dropped={result.dropped}); snapshot -> {snapshot_path}")
+    else:
+        from .analysis.columnar import iter_shard_batches
+        acc = StudyAccumulator()
+        for batch in iter_shard_batches(dataset):
+            acc.add_shard_batch(batch)
+        study = Study.from_accumulator(acc)
+        print(f"analyzed {dataset}: {study.n_sites} sites")
+    for key, value in sorted(study.sec51_prevalence().items()):
+        print(f"  {key:<34} {value:8.2f}")
+    if report_out:
+        Path(report_out).write_bytes(study.report_bytes() + b"\n")
+        print(f"wrote {report_out}")
 
 
 def _run_bench(args: List[str]) -> None:
@@ -286,6 +353,8 @@ def main(argv=None) -> None:
         _run_crawl(args)
     elif command == "crawl-shard":
         _run_crawl_shard(args)
+    elif command == "analyze":
+        _run_analyze(args)
     elif command == "bench":
         _run_bench(args)
     elif command == "serve":

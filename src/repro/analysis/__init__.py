@@ -37,6 +37,18 @@ from .reports import (
     render_table2,
     render_table5,
 )
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    RefreshResult,
+    SnapshotError,
+    SnapshotPart,
+    StudySnapshot,
+    load_snapshot,
+    refresh_study,
+    save_snapshot,
+    snapshot_accumulator,
+    snapshot_dataset,
+)
 
 __all__ = [
     "CookiePair",
@@ -74,4 +86,14 @@ __all__ = [
     "render_table1",
     "render_table2",
     "render_table5",
+    "SNAPSHOT_VERSION",
+    "RefreshResult",
+    "SnapshotError",
+    "SnapshotPart",
+    "StudySnapshot",
+    "load_snapshot",
+    "refresh_study",
+    "save_snapshot",
+    "snapshot_accumulator",
+    "snapshot_dataset",
 ]

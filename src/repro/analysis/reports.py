@@ -16,6 +16,8 @@ which makes the derived tables independent of ingestion order.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
@@ -296,6 +298,24 @@ class StudyAccumulator:
         return self
 
     @classmethod
+    def resume(cls, snapshot,
+               entity_map: Optional[EntityMap] = None,
+               filter_list: Optional[FilterList] = None
+               ) -> "StudyAccumulator":
+        """Rebuild an accumulator from a saved study snapshot.
+
+        ``snapshot`` is a :class:`~repro.analysis.snapshot.StudySnapshot`
+        or a path to one on disk.  The resumed accumulator is ready for
+        more ``add``/``add_shard_batch`` calls: *save → load → add the
+        remaining shards* yields byte-identical report output to a
+        monolithic pass (``tests/test_snapshot.py`` pins this).
+        """
+        from .snapshot import StudySnapshot, load_snapshot
+        if not isinstance(snapshot, StudySnapshot):
+            snapshot = load_snapshot(snapshot)
+        return snapshot.accumulator(entity_map, filter_list)
+
+    @classmethod
     def merged(cls, accumulators: Iterable["StudyAccumulator"],
                entity_map: Optional[EntityMap] = None,
                filter_list: Optional[FilterList] = None) -> "StudyAccumulator":
@@ -430,6 +450,36 @@ class Study:
         logs = sorted(self.logs + other.logs,
                       key=lambda log: (log.rank, log.site))
         return Study.from_accumulator(acc, logs)
+
+    # ------------------------------------------------------------------
+    def report(self) -> Dict[str, object]:
+        """Every §5 result as one JSONable dict.
+
+        The canonical "what this study found" payload: snapshot-resume
+        and partial-refresh equivalence are proven on
+        :meth:`report_bytes` of this dict, and ``repro analyze
+        --report`` writes it to disk.
+        """
+        return {
+            "n_sites": self.n_sites,
+            "sec51_prevalence": self.sec51_prevalence(),
+            "sec52_api_usage": self.sec52_api_usage(),
+            "table1": [dataclasses.asdict(row) for row in self.table1()],
+            "table2": [dataclasses.asdict(row) for row in self.table2()],
+            "figure2": [dataclasses.asdict(row) for row in self.figure2()],
+            "sec55_overwrite": self.sec55_overwrite_attributes(),
+            "table5": [dataclasses.asdict(row) for row in self.table5()],
+            "figure8": {key: [dataclasses.asdict(row) for row in rows]
+                        for key, rows in self.figure8().items()},
+            "sec56_inclusion": self.sec56_inclusion(),
+            "sec8_dom_pilot": self.sec8_dom_pilot(),
+        }
+
+    def report_bytes(self) -> bytes:
+        """:meth:`report` rendered canonically — equal studies, equal
+        bytes, the equivalence currency of the snapshot test suite."""
+        return json.dumps(self.report(), sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
 
     # ------------------------------------------------------------------
     # §5.1 — prevalence of third-party scripts

@@ -49,6 +49,7 @@ __all__ = [
     "ShardWriteResult",
     "build_shard_indexes",
     "compute_digest",
+    "dataset_digests",
     "index_filename",
     "iter_dict_batches",
     "iter_dicts",
@@ -118,6 +119,24 @@ def compute_digest(path: Union[str, Path]) -> str:
         for chunk in iter(lambda: handle.read(1 << 20), b""):
             digest.update(chunk)
     return digest.hexdigest()
+
+
+def dataset_digests(directory: Union[str, Path],
+                    manifest: Optional["ShardManifest"] = None
+                    ) -> Tuple[str, ...]:
+    """Every shard's SHA-256, in shard order, for a sharded dataset.
+
+    Manifest-recorded digests are trusted verbatim; pre-digest
+    manifests fall back to hashing the shard files.  This is the
+    complete digest list the serve catalog's ETags derive from and the
+    snapshot layer diffs against (:mod:`repro.analysis.snapshot`).
+    """
+    directory = Path(directory)
+    if manifest is None:
+        manifest = ShardManifest.load(directory)
+    return tuple(
+        manifest.digest_for(pos) or compute_digest(directory / name)
+        for pos, name in enumerate(manifest.files))
 
 
 def shard_filename(index: int, compress: bool = False) -> str:
@@ -558,7 +577,11 @@ def read_site_line(directory: Union[str, Path], rank: int, *,
                 if not line:
                     continue
                 data = json.loads(line)
-                if int(data.get("rank", -1)) == rank:
+                # Skip rank-less lines instead of comparing a default:
+                # build_shard_indexes skips them too, so both paths
+                # resolve every rank to the same line (or to KeyError).
+                line_rank = data.get("rank")
+                if line_rank is not None and int(line_rank) == rank:
                     return line.encode("utf-8")
     raise KeyError(f"rank {rank} is not in the dataset at {directory}")
 
@@ -618,12 +641,23 @@ def build_shard_indexes(directory: Union[str, Path],
         offset = 0
         with _open_binary(path) as handle:
             for raw_line in handle:
-                stripped = raw_line.rstrip(b"\n")
-                if stripped:
-                    data = json.loads(stripped)
-                    ranks.append(int(data.get("rank", 0)))
-                    offsets.append(offset)
-                    lengths.append(len(stripped))
+                # Record the fully stripped JSON line — no trailing \r
+                # on CRLF shards, no leading whitespace — so the seek
+                # path returns byte-for-byte what the fallback scan's
+                # text-mode .strip() yields for the same rank.
+                body = raw_line.strip()
+                if body:
+                    data = json.loads(body)
+                    rank = data.get("rank")
+                    # Rank-less lines are unreachable by rank lookup;
+                    # indexing them under a default would let them
+                    # shadow a real rank (the scan fallback skips them
+                    # too — see read_site_line).
+                    if rank is not None:
+                        lead = len(raw_line) - len(raw_line.lstrip())
+                        ranks.append(int(rank))
+                        offsets.append(offset + lead)
+                        lengths.append(len(body))
                 offset += len(raw_line)
         write_shard_index(directory / index_filename(name), ShardIndex(
             file=name, count=len(ranks), sha256=digest,

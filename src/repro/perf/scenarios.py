@@ -180,6 +180,79 @@ register(Scenario(
 ))
 
 
+def _snapshot_state(n_sites: int, sample: int, n_shards: int):
+    from ..analysis.snapshot import snapshot_dataset
+    directory, n_logs, scratch = _sharded_state(n_sites, sample, n_shards)
+    snapshot = snapshot_dataset(directory)
+    return (snapshot, directory / "bench.snapshot.json", n_logs, scratch)
+
+
+def _snapshot_roundtrip_run(state) -> int:
+    from ..analysis.snapshot import load_snapshot, save_snapshot
+    snapshot, path, n_logs, _scratch = state
+    save_snapshot(snapshot, path)
+    study = load_snapshot(path).study()
+    assert study.n_sites == n_logs
+    return n_logs
+
+
+register(Scenario(
+    name="study_snapshot_roundtrip",
+    description="save_snapshot -> load_snapshot -> resumed Study: the "
+                "fixed cost of persisting and rehydrating accumulator "
+                "state instead of re-analyzing shard bytes",
+    setup=lambda: _snapshot_state(120, 100, 4),
+    quick_setup=lambda: _snapshot_state(40, 25, 2),
+    run=_snapshot_roundtrip_run,
+    units="visits",
+))
+
+
+def _refresh_state(n_sites: int, sample: int, n_shards: int):
+    from ..analysis.snapshot import snapshot_dataset
+    from ..crawler.storage import ShardManifest, load_shard, write_shard
+    directory, n_logs, scratch = _sharded_state(n_sites, sample, n_shards)
+    snapshot = snapshot_dataset(directory)
+    # Touch exactly one shard — drop its last log and republish the
+    # manifest — the smallest realistic dataset-version bump.  The
+    # timed refresh must re-ingest that shard alone and merge the rest
+    # from the snapshot's saved state.
+    manifest = ShardManifest.load(directory)
+    changed = load_shard(directory, 0)[:-1]
+    written = write_shard(changed, directory, 0, compress=manifest.compress)
+    counts = list(manifest.counts)
+    digests = list(manifest.digests)
+    counts[0] = written.count
+    digests[0] = written.sha256
+    ShardManifest(n_shards=manifest.n_shards, total=sum(counts),
+                  compress=manifest.compress, files=manifest.files,
+                  counts=tuple(counts), digests=tuple(digests),
+                  ).save(directory)
+    return (snapshot, directory, sum(counts), scratch)
+
+
+def _partial_refresh_run(state) -> int:
+    from ..analysis.snapshot import refresh_study
+    snapshot, directory, n_logs, _scratch = state
+    result = refresh_study(snapshot, directory)
+    assert len(result.reingested) == 1, result
+    study = result.snapshot.study()
+    assert study.n_sites == n_logs
+    return n_logs
+
+
+register(Scenario(
+    name="study_partial_refresh",
+    description="refresh_study after 1 of 8 shards changed: re-analysis "
+                "priced by the delta, not the population (compare "
+                "against study_analysis_columnar's full rebuild)",
+    setup=lambda: _refresh_state(120, 100, 8),
+    quick_setup=lambda: _refresh_state(40, 25, 4),
+    run=_partial_refresh_run,
+    units="visits",
+))
+
+
 def _shard_state(n_sites: int, sample: int):
     # The scratch directory is part of setup, not of the timed run —
     # each repetition overwrites the same shard file, so only

@@ -16,9 +16,13 @@ needs:
   :func:`~repro.crawler.storage.read_site`, with the parsed sidecar
   indexes memoized per entry;
 * a lazily built, cached :class:`~repro.analysis.reports.Study` —
-  aggregated by streaming shards through a
-  :class:`~repro.analysis.reports.StudyAccumulator`, never holding raw
-  logs — that the report queries run against;
+  aggregated through the versioned snapshot layer
+  (:mod:`repro.analysis.snapshot`), never holding raw logs — that the
+  report queries run against.  The per-shard snapshot is persisted as
+  a sidecar (:data:`SNAPSHOT_NAME`) next to the manifest, so a
+  re-crawled dataset re-ingests only its changed shards instead of
+  discarding the whole aggregation (ETags are untouched: they derive
+  from the shard digests alone, never from the sidecar);
 * per-rank-bucket accumulators for the prevalence-by-bucket query
   (the same mergeable-accumulator decomposition the shard merge uses,
   keyed by rank bucket instead of shard).
@@ -32,12 +36,19 @@ from typing import Dict, List, Optional, Union
 
 from ..analysis.columnar import iter_shard_batches
 from ..analysis.reports import Study, StudyAccumulator
+from ..analysis.snapshot import (RefreshResult, SnapshotError, load_snapshot,
+                                 refresh_study, save_snapshot)
 from ..crawler.storage import (ManifestError, ShardIndex, ShardManifest,
                                compute_digest, read_site)
 from ..records import VisitLog
 from .etag import listing_etag, study_etag
 
-__all__ = ["StudyCatalog", "StudyEntry"]
+__all__ = ["SNAPSHOT_NAME", "StudyCatalog", "StudyEntry"]
+
+#: Sidecar file holding a study's persisted analysis snapshot.  Derived
+#: data, like the seek indexes: never listed in the manifest, never
+#: digested, never part of an ETag.
+SNAPSHOT_NAME = "study.snapshot.json"
 
 
 class StudyEntry:
@@ -51,6 +62,7 @@ class StudyEntry:
             self.manifest.digest_for(i) or compute_digest(self.directory / f)
             for i, f in enumerate(self.manifest.files))
         self.etag = study_etag(self.manifest, self.digests)
+        self.snapshot_path = self.directory / SNAPSHOT_NAME
         self._index_cache: Dict[int, Optional[ShardIndex]] = {}
         self._study: Optional[Study] = None
         self._buckets: Dict[int, List[Dict]] = {}
@@ -95,18 +107,36 @@ class StudyEntry:
                              index_cache=self._index_cache)
 
     def study(self) -> Study:
-        """The merged Study, built once by streaming the shards.
+        """The merged Study, built once through the snapshot layer.
 
-        Shards decode straight into columnar batches (JSON → columns,
-        no per-event objects), each consumed whole by the accumulator.
+        First build loads the persisted sidecar snapshot (when one
+        exists and verifies), diffs its per-shard digests against this
+        entry's, and re-ingests only changed/added shards — a dataset
+        version bump costs O(delta), not O(population).  The refreshed
+        snapshot is written back (atomically; best-effort on read-only
+        datasets) so the *next* process, or the next catalog refresh,
+        starts from it too.
         """
         with self._agg_lock:
             if self._study is None:
-                acc = StudyAccumulator()
-                for batch in iter_shard_batches(self.directory):
-                    acc.add_shard_batch(batch)
-                self._study = Study.from_accumulator(acc)
+                self._study = self._refresh_snapshot().snapshot.study()
             return self._study
+
+    def _refresh_snapshot(self) -> RefreshResult:
+        """Load + incrementally refresh + persist the sidecar snapshot."""
+        try:
+            old = load_snapshot(self.snapshot_path)
+        except SnapshotError:
+            # Missing, torn, or another version: rebuild from shards.
+            old = None
+        result = refresh_study(old, self.directory, manifest=self.manifest,
+                               digests=self.digests)
+        if old is None or result.changed:
+            try:
+                save_snapshot(result.snapshot, self.snapshot_path)
+            except OSError:
+                pass  # read-only dataset: serve from memory only
+        return result
 
     def prevalence_by_bucket(self, bucket_size: int) -> List[Dict]:
         """§5.1 prevalence figures per rank bucket, merge-aggregated.
@@ -118,6 +148,11 @@ class StudyEntry:
         ``Study.from_shards`` uses, so the per-bucket numbers are
         exactly what a Study over only that bucket's sites would report.
         """
+        if bucket_size < 1:
+            # Guard here, not only in the HTTP layer: library callers
+            # would otherwise hit a bare ZeroDivisionError below.
+            raise ValueError(
+                f"bucket_size must be >= 1, got {bucket_size}")
         with self._agg_lock:
             cached = self._buckets.get(bucket_size)
             if cached is not None:
@@ -168,16 +203,36 @@ class StudyCatalog:
         return found
 
     def refresh(self) -> None:
-        """Rescan the root; rebuild entries whose manifest changed."""
+        """Rescan the root; rebuild entries whose manifest changed.
+
+        All disk work — staleness probes and entry construction, which
+        hashes every shard of a pre-digest manifest — happens *outside*
+        the lock, then the fresh entry map is swapped in atomically:
+        concurrent ``get()``/``listing()`` calls never stall behind a
+        rebuild.  A rebuilt entry's aggregation is not thrown away
+        either — its persisted sidecar snapshot (written by
+        ``StudyEntry.study()``) carries the unchanged shards' state
+        across the rebuild, so the new entry re-ingests only the delta.
+        A study directory deleted between discovery and construction
+        (or mid-hash) is simply skipped until the next refresh.
+        """
         found = self._discover()
         with self._lock:
-            for study_id in list(self._entries):
-                if study_id not in found:
-                    del self._entries[study_id]
-            for study_id, directory in found.items():
-                entry = self._entries.get(study_id)
-                if entry is None or not entry.is_current():
-                    self._entries[study_id] = StudyEntry(study_id, directory)
+            current = dict(self._entries)
+        fresh: Dict[str, StudyEntry] = {}
+        for study_id, directory in found.items():
+            entry = current.get(study_id)
+            if entry is not None and entry.is_current():
+                fresh[study_id] = entry
+                continue
+            try:
+                fresh[study_id] = StudyEntry(study_id, directory)
+            except (FileNotFoundError, ManifestError):
+                # Vanished (or torn mid-write) since _discover(); the
+                # next refresh picks it up if it comes back.
+                continue
+        with self._lock:
+            self._entries = fresh
 
     # ------------------------------------------------------------------
     def study_ids(self) -> List[str]:

@@ -175,7 +175,7 @@ class TestCommittedBaseline:
         against must parse and cover every registered scenario."""
         from pathlib import Path
         report = load_report(
-            Path(__file__).parent.parent / "BENCH_7.quick.json")
+            Path(__file__).parent.parent / "BENCH_8.quick.json")
         registered = {s.name for s in harness.iter_scenarios()}
         assert registered <= set(report["scenarios"])
         for entry in report["scenarios"].values():
@@ -192,6 +192,21 @@ class TestCommittedBaseline:
         # The new scenarios land with this trajectory point.
         assert "study_analysis_columnar" in report["scenarios"]
         assert "shard_decode" in report["scenarios"]
+
+    def test_bench_8_records_partial_refresh_advantage(self):
+        """BENCH_8's headline: refreshing a dataset with one shard of
+        eight changed must beat the cold whole-dataset aggregation
+        (study_analysis_columnar) — re-analysis cost scales with the
+        delta, not the population."""
+        from pathlib import Path
+        report = load_report(Path(__file__).parent.parent / "BENCH_8.json")
+        refresh = report["scenarios"]["study_partial_refresh"]
+        cold = report["scenarios"]["study_analysis_columnar"]
+        assert refresh["visits_per_sec"] >= 2 * cold["visits_per_sec"]
+        # The new scenarios land with this trajectory point, with the
+        # BENCH_7 numbers embedded as the baseline.
+        assert "study_snapshot_roundtrip" in report["scenarios"]
+        assert report["baseline"]["study_analysis"]["visits_per_sec"] > 0
 
     def test_bench_6_records_indexed_lookup_speedup(self):
         """BENCH_6's headline: the sidecar-indexed read_site path must

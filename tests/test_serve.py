@@ -317,3 +317,170 @@ class TestCatalogDiscovery:
         shutil.rmtree(second)
         catalog.refresh()
         assert catalog.study_ids() == ["alpha"]
+
+
+# ---------------------------------------------------------------------------
+# Catalog refresh: non-blocking, crash-safe, and incrementally aggregated
+# ---------------------------------------------------------------------------
+
+def _touch_shard(directory, shard=0):
+    """Drop one log from a shard and republish the manifest — the
+    smallest dataset-version bump a re-crawl can produce."""
+    from repro.crawler.storage import ShardManifest, load_shard, write_shard
+    manifest = ShardManifest.load(directory)
+    changed = load_shard(directory, shard)[:-1]
+    written = write_shard(changed, directory, shard,
+                          compress=manifest.compress)
+    counts = list(manifest.counts)
+    digests = list(manifest.digests)
+    counts[shard] = written.count
+    digests[shard] = written.sha256
+    ShardManifest(n_shards=manifest.n_shards, total=sum(counts),
+                  compress=manifest.compress, files=manifest.files,
+                  counts=tuple(counts), digests=tuple(digests),
+                  ).save(directory)
+
+
+class TestCatalogRefreshLocking:
+    def test_refresh_does_not_hold_the_lock_while_hashing(
+            self, crawl_logs, tmp_path, monkeypatch):
+        """Entry construction (which digests every shard of a pre-digest
+        manifest) must not stall concurrent get()/listing() calls."""
+        import repro.serve.catalog as catalog_module
+
+        root = tmp_path
+        alpha = root / "alpha"
+        alpha.mkdir()
+        save_logs(crawl_logs[:20], alpha, shards=2)
+        catalog = StudyCatalog(root)
+
+        # A second study whose manifest carries no digests, so the
+        # refresh has to hash its shards during StudyEntry.__init__.
+        beta = root / "beta"
+        beta.mkdir()
+        save_logs(crawl_logs[:20], beta, shards=2)
+        manifest_path = beta / "manifest.json"
+        data = json.loads(manifest_path.read_text())
+        for shard in data["shards"]:
+            shard.pop("sha256", None)
+        manifest_path.write_text(json.dumps(data))
+
+        hashing = threading.Event()
+        release = threading.Event()
+        real_digest = catalog_module.compute_digest
+
+        def slow_digest(path):
+            hashing.set()
+            assert release.wait(timeout=10), "test deadlocked"
+            return real_digest(path)
+
+        monkeypatch.setattr(catalog_module, "compute_digest", slow_digest)
+        refresher = threading.Thread(target=catalog.refresh)
+        refresher.start()
+        try:
+            assert hashing.wait(timeout=10)
+            # The rebuild is mid-hash: reads must not block on it.
+            got = {}
+            reader = threading.Thread(target=lambda: got.update(
+                ids=catalog.study_ids(), listing=catalog.listing(),
+                entry=catalog.get("alpha")))
+            reader.start()
+            reader.join(timeout=5)
+            assert not reader.is_alive(), \
+                "get()/listing() blocked behind the refresh rebuild"
+            assert got["ids"] == ["alpha"]
+        finally:
+            release.set()
+            refresher.join(timeout=10)
+        assert catalog.study_ids() == ["alpha", "beta"]
+
+    def test_refresh_skips_a_study_that_vanished_after_discovery(
+            self, crawl_logs, tmp_path, monkeypatch):
+        root = tmp_path
+        alpha = root / "alpha"
+        alpha.mkdir()
+        save_logs(crawl_logs[:20], alpha, shards=2)
+        catalog = StudyCatalog(root)
+        ghost = root / "ghost"   # discovered, then deleted before build
+        monkeypatch.setattr(
+            catalog, "_discover",
+            lambda: {"alpha": alpha, "ghost": ghost})
+        catalog.refresh()        # must not raise
+        assert catalog.study_ids() == ["alpha"]
+        with pytest.raises(KeyError):
+            catalog.get("ghost")
+
+
+class TestBucketSizeGuard:
+    def test_zero_bucket_raises_value_error_not_zero_division(
+            self, crawl_logs, tmp_path):
+        from repro.serve.catalog import StudyEntry
+        directory = tmp_path / "study"
+        directory.mkdir()
+        save_logs(crawl_logs[:20], directory, shards=2)
+        entry = StudyEntry("study", directory)
+        for bad in (0, -4):
+            with pytest.raises(ValueError, match="bucket_size must be >= 1"):
+                entry.prevalence_by_bucket(bad)
+
+
+class TestSnapshotSidecar:
+    def _entry(self, directory):
+        from repro.serve.catalog import StudyEntry
+        return StudyEntry(directory.name, directory)
+
+    def _counting_ingest(self, monkeypatch):
+        import repro.analysis.snapshot as snapshot_module
+        calls = []
+        real = snapshot_module._ingest_shard
+
+        def counting(path, entity_map, filter_list):
+            calls.append(path.name)
+            return real(path, entity_map, filter_list)
+
+        monkeypatch.setattr(snapshot_module, "_ingest_shard", counting)
+        return calls
+
+    def test_study_persists_a_sidecar_snapshot(self, crawl_logs, tmp_path,
+                                               monkeypatch):
+        from repro.serve.catalog import SNAPSHOT_NAME
+        directory = tmp_path / "study"
+        directory.mkdir()
+        save_logs(crawl_logs[:30], directory, shards=3)
+        entry = self._entry(directory)
+        etag_before = entry.etag
+        reference = entry.study().report_bytes()
+        assert (directory / SNAPSHOT_NAME).exists()
+
+        # A fresh entry (catalog rebuild, server restart) resumes from
+        # the sidecar: zero shards re-ingested, identical report bytes,
+        # and the ETag untouched by the sidecar's existence.
+        calls = self._counting_ingest(monkeypatch)
+        fresh = self._entry(directory)
+        assert fresh.etag == etag_before
+        assert fresh.study().report_bytes() == reference
+        assert calls == []
+
+    def test_catalog_refresh_upgrades_a_stale_entry_incrementally(
+            self, crawl_logs, tmp_path, monkeypatch):
+        from repro.analysis.reports import Study, StudyAccumulator
+        from repro.analysis.columnar import iter_shard_batches
+        root = tmp_path
+        directory = root / "alpha"
+        directory.mkdir()
+        save_logs(crawl_logs[:30], directory, shards=3)
+        catalog = StudyCatalog(root)
+        catalog.get("alpha").study()          # builds + persists sidecar
+
+        _touch_shard(directory)
+        calls = self._counting_ingest(monkeypatch)
+        catalog.refresh()
+        entry = catalog.get("alpha")
+        refreshed = entry.study().report_bytes()
+        assert calls == [entry.manifest.files[0]], \
+            "refresh must re-ingest exactly the changed shard"
+
+        acc = StudyAccumulator()
+        for batch in iter_shard_batches(directory):
+            acc.add_shard_batch(batch)
+        assert refreshed == Study.from_accumulator(acc).report_bytes()

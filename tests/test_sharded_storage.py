@@ -334,3 +334,98 @@ class TestShardIndexes:
         # so the CLI can report "N indexed, M up-to-date" truthfully.
         result = build_shard_indexes(sharded_dir)
         assert (result.built, result.up_to_date) == (0, manifest.n_shards)
+
+
+# ---------------------------------------------------------------------------
+# Indexed and scan paths must return the same bytes for the same rank
+# ---------------------------------------------------------------------------
+
+def _handmade_dataset(tmp_path, raw: bytes, count: int):
+    """A one-shard dataset with externally produced (non-writer) bytes."""
+    directory = tmp_path / "hand"
+    directory.mkdir()
+    name = shard_filename(0)
+    (directory / name).write_bytes(raw)
+    ShardManifest(n_shards=1, total=count, compress=False,
+                  files=(name,), counts=(count,),
+                  digests=(compute_digest(directory / name),)).save(directory)
+    return directory
+
+
+class TestLookupPathEquivalence:
+    """read_site_line: sidecar seeks == full-scan fallback, byte for byte.
+
+    Our writer never emits CRLF or padding, but externally produced
+    shards (rsynced from Windows tooling, hand-concatenated) can — and
+    the two lookup paths used to disagree on them: the index recorded
+    the ``rstrip(b"\\n")`` span (keeping ``\\r``) while the scan
+    stripped both, so the bytes a caller got depended on whether a
+    sidecar happened to exist.  ETag-relevant, hence pinned.
+    """
+
+    def test_crlf_shard_returns_identical_bytes_on_both_paths(
+            self, crawl_logs, tmp_path):
+        from repro.crawler.storage import (build_shard_indexes,
+                                           read_site_line)
+        logs = crawl_logs[:3]
+        lines = [json.dumps(log.to_dict(),
+                            separators=(",", ":")).encode("utf-8")
+                 for log in logs]
+        raw = b"\r\n".join(lines) + b"\r\n"
+        directory = _handmade_dataset(tmp_path, raw, len(logs))
+        build_shard_indexes(directory)
+        for log, line in zip(logs, lines):
+            indexed = read_site_line(directory, log.rank)
+            scanned = read_site_line(directory, log.rank, use_index=False)
+            assert indexed == scanned == line
+
+    def test_padded_lines_return_identical_bytes_on_both_paths(
+            self, crawl_logs, tmp_path):
+        from repro.crawler.storage import (build_shard_indexes,
+                                           read_site_line)
+        log = crawl_logs[0]
+        line = json.dumps(log.to_dict(),
+                          separators=(",", ":")).encode("utf-8")
+        raw = b"   " + line + b"  \r\n"
+        directory = _handmade_dataset(tmp_path, raw, 1)
+        build_shard_indexes(directory)
+        assert read_site_line(directory, log.rank) == line
+        assert read_site_line(directory, log.rank, use_index=False) == line
+
+    def test_rankless_line_cannot_shadow_rank_zero(self, crawl_logs,
+                                                   tmp_path):
+        """Writer/reader rank-default parity.
+
+        ``build_shard_indexes`` used to file a rank-less line under the
+        default rank 0 while the scan fallback used -1 — so a malformed
+        line shadowed a real rank-0 log exactly when an index was
+        present.  Both paths now skip rank-less lines entirely.
+        """
+        from repro.crawler.storage import (build_shard_indexes,
+                                           load_shard_index,
+                                           read_site_line)
+        data = crawl_logs[0].to_dict()
+        data["rank"] = 0
+        line = json.dumps(data, separators=(",", ":")).encode("utf-8")
+        junk = b'{"malformed":true}'
+        raw = junk + b"\n" + line + b"\n"
+        directory = _handmade_dataset(tmp_path, raw, 2)
+        build_shard_indexes(directory)
+        index = load_shard_index(directory, shard_filename(0))
+        assert list(index.ranks) == [0]      # the junk line is not indexed
+        assert read_site_line(directory, 0) == line
+        assert read_site_line(directory, 0, use_index=False) == line
+
+    def test_rankless_line_misses_identically_on_both_paths(
+            self, crawl_logs, tmp_path):
+        from repro.crawler.storage import build_shard_indexes, read_site_line
+        log = crawl_logs[0]
+        line = json.dumps(log.to_dict(),
+                          separators=(",", ":")).encode("utf-8")
+        raw = b'{"malformed":true}\n' + line + b"\n"
+        directory = _handmade_dataset(tmp_path, raw, 2)
+        build_shard_indexes(directory)
+        assert read_site_line(directory, log.rank) == line
+        for use_index in (True, False):
+            with pytest.raises(KeyError):
+                read_site_line(directory, 10 ** 9, use_index=use_index)
