@@ -51,7 +51,8 @@ def main():
     start = time.time()
     config = CrawlConfig(seed=2025, concurrency=concurrency)
     if cache_dir is not None or backend_name is not None:
-        backend = make_backend(backend_name or "pool", jobs=jobs)
+        backend = make_backend(backend_name or "pool", jobs=jobs,
+                               cache_dir=cache_dir)
         store = ShardStore(cache_dir) if cache_dir else None
         coordinator = Coordinator(population, config, backend=backend,
                                   store=store)

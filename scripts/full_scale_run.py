@@ -73,7 +73,8 @@ def main():
     t0 = time.time()
     config = CrawlConfig(seed=2025, concurrency=CONCURRENCY)
     if DISTRIBUTED:
-        backend = make_backend(BACKEND or "pool", jobs=JOBS)
+        backend = make_backend(BACKEND or "pool", jobs=JOBS,
+                               cache_dir=CACHE_DIR)
         store = ShardStore(CACHE_DIR) if CACHE_DIR else None
         coordinator = Coordinator(population, config, backend=backend,
                                   max_retries=MAX_RETRIES, store=store)
@@ -135,7 +136,8 @@ def main():
     emit()
     emit("== Figure 5 (paired crawl on 3,000-site sample) ==")
     t0 = time.time()
-    access = evaluate_access_control(population, population.sites[:3000])
+    access = evaluate_access_control(
+        population, population.sites_for(range(1, min(N, 3000) + 1)))
     emit(access.render())
     emit(f"({time.time()-t0:.0f}s)")
 

@@ -50,6 +50,11 @@ serve [ROOT] [--host H] [--port P]
     parameterized ``/studies/<id>/reports/<name>`` queries.  Every
     response carries a digest-derived strong ETag and honors
     ``If-None-Match`` with 304
+store-serve [ROOT] [--host H] [--port P] [--verbose]
+    share a shard-cache directory (default ``shard-cache``) over HTTP
+    (``repro.serve.store``) so that ``crawl``/``crawl-shard`` on other
+    machines can use ``--cache-dir http://HOST:PORT`` and read/upload
+    shards through one cluster-wide content-addressed store
 index-shards DIR [DIR ...] [--force]
     backfill sidecar seek indexes (``shard-NNNN.index.json``) for
     existing sharded crawl directories; shard bytes, digests, and
@@ -82,6 +87,11 @@ Options
                  for the same population/config/ranks are reused
                  without executing a single visit, and new shards are
                  stored for the next run.  Implies the coordinator.
+                 D is a local directory or an ``http(s)://`` URL of a
+                 ``store-serve`` endpoint; with the subprocess backend
+                 the value is forwarded to every worker, so workers
+                 hit the shared store directly and the coordinator
+                 only moves digests.
 --max-retries R  retry a failed/lost shard up to R times (default 2)
                  before giving up; retried bytes must match any
                  previously recorded digest.
@@ -133,7 +143,8 @@ def _run_crawl(args: List[str]) -> None:
     progress = print_progress if show_progress else None
     if distributed:
         from .crawler import Coordinator, ShardStore, make_backend
-        backend = make_backend(backend_name or "inprocess", jobs=jobs)
+        backend = make_backend(backend_name or "inprocess", jobs=jobs,
+                               cache_dir=cache_dir)
         store = ShardStore(cache_dir) if cache_dir else None
         coordinator = Coordinator(population, config, backend=backend,
                                   max_retries=max_retries, store=store,
@@ -325,6 +336,20 @@ def _run_serve(args: List[str]) -> None:
     serve(root, host=host, port=port)
 
 
+def _run_store_serve(args: List[str]) -> None:
+    """Share a shard-cache directory over HTTP until interrupted."""
+    host = pop_flag(args, "--host") or "127.0.0.1"
+    port = pop_int_flag(args, "--port", 8412, minimum=0)
+    verbose = pop_switch(args, "--verbose")
+    reject_unknown_flags(args)
+    if len(args) > 1:
+        print("store-serve takes at most one positional argument: ROOT")
+        raise SystemExit(2)
+    root = args[0] if args else "shard-cache"
+    from .serve import serve_store
+    serve_store(root, host=host, port=port, verbose=verbose)
+
+
 def _run_index_shards(args: List[str]) -> None:
     """Backfill sidecar seek indexes for sharded crawl directories."""
     force = pop_switch(args, "--force")
@@ -359,6 +384,8 @@ def main(argv=None) -> None:
         _run_bench(args)
     elif command == "serve":
         _run_serve(args)
+    elif command == "store-serve":
+        _run_store_serve(args)
     elif command == "index-shards":
         _run_index_shards(args)
     elif command == "full":

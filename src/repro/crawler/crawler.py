@@ -157,7 +157,9 @@ class Crawler:
         hooks; ``log`` is None for failed crawls).
         """
         if sites is None:
-            sites = self.population.sites
+            # Lazy stream: sites synthesize per rank as the engine admits
+            # them, so a whole-population crawl never materializes the list.
+            sites = self.population.iter_sites()
         if concurrency is None:
             concurrency = self.config.concurrency
         self.guards = []

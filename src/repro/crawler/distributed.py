@@ -51,7 +51,6 @@ import dataclasses
 import hashlib
 import json
 import os
-import shutil
 import subprocess
 import sys
 import time
@@ -61,30 +60,42 @@ from pathlib import Path
 from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple, Union)
 
-from ..ecosystem.population import Population, PopulationConfig
+from ..ecosystem.population import (POPULATION_VERSION, Population,
+                                    PopulationConfig)
 from .crawler import CrawlConfig, Crawler, config_fingerprint
 from .parallel import (CrawlProgress, Shard, ShardPlan, derive_shard_config,
                        _init_worker, _WORKER)
 from .storage import (ManifestError, SHARD_FORMAT_VERSION, ShardIndex,
                       ShardManifest, ShardWriteResult, compute_digest,
                       index_filename, load_shard_index, shard_filename,
+                      shard_index_from_bytes, shard_index_to_bytes,
                       verify_shard_files, write_shard, write_shard_index)
+from .storebackends import (META_NAME, HTTPStoreBackend, InMemoryBackend,
+                            LocalDirectoryBackend, ShardStoreBackend,
+                            StoreBackendError)
 
 __all__ = [
     "CoordinationError",
     "Coordinator",
     "CrawlReport",
     "FAULT_ONCE_ENV",
+    "HTTPStoreBackend",
+    "InMemoryBackend",
     "InProcessBackend",
+    "LocalDirectoryBackend",
     "ProcessPoolBackend",
     "ShardKeyFactory",
     "ShardOutcome",
     "ShardStore",
+    "ShardStoreBackend",
     "ShardTask",
+    "StoreBackendError",
     "SubprocessBackend",
     "WorkQueue",
     "WorkSpec",
     "WorkerBackend",
+    "decode_ranks",
+    "encode_ranks",
     "make_backend",
     "population_fingerprint",
     "run_shard_worker",
@@ -96,7 +107,10 @@ WORKSPEC_NAME = "workspec.json"
 #: so digests recorded by version-1 journals can never be reproduced by
 #: a retry — loading such a queue must refuse up front rather than
 #: fail later with a misleading "determinism contract broken" error.
-QUEUE_VERSION = 2
+#: Version 3: population synthesis moved to per-rank RNG streams
+#: (``POPULATION_VERSION`` 2), changing site — and therefore shard —
+#: bytes, and task/spec rank lists gained a compact range encoding.
+QUEUE_VERSION = 3
 
 #: Test-only hook: a directory path; each shard worker crashes once.
 FAULT_ONCE_ENV = "REPRO_FAULT_ONCE_DIR"
@@ -127,6 +141,11 @@ def population_fingerprint(population: Union[Population,
     config = (population.config if isinstance(population, Population)
               else population)
     payload = dataclasses.asdict(config)
+    # The synthesis algorithm is an input too: POPULATION_VERSION 2
+    # (per-rank RNG streams) produces different sites from the same
+    # config than version 1 did, so cached shards keyed under the old
+    # algorithm must miss rather than serve stale bytes.
+    payload["synthesis"] = POPULATION_VERSION
     blob = json.dumps(payload, sort_keys=True, default=list).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()
 
@@ -179,6 +198,49 @@ def _shard_key(population_fp: str, config_fp: str, ranks: Sequence[int],
     }
     blob = json.dumps(payload, sort_keys=True).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Compact rank encoding (spec + journal)
+# ---------------------------------------------------------------------------
+
+def encode_ranks(ranks: Sequence[int]) -> Union[Dict, List[int]]:
+    """JSON form of a shard's ranks, compact for arithmetic progressions.
+
+    Plans over whole populations carry ranges (contiguous runs or
+    strides), which encode as ``{"start", "stop", "step"}`` — a 1M-site
+    plan's workspec and journal stay O(shards) bytes instead of
+    O(sites).  Arbitrary rank tuples are detected too (any arithmetic
+    progression normalizes to the same encoding regardless of the
+    sequence type); irregular rank sets fall back to an explicit list.
+    Cache keys are NOT affected: they always serialize the explicit
+    rank list (see :class:`ShardKeyFactory`).
+    """
+    seq: Optional[range] = None
+    if isinstance(ranks, range):
+        seq = ranks
+    else:
+        n = len(ranks)
+        if n == 0:
+            seq = range(0)
+        elif n == 1:
+            seq = range(ranks[0], ranks[0] + 1)
+        else:
+            step = ranks[1] - ranks[0]
+            if step > 0 and all(ranks[i + 1] - ranks[i] == step
+                                for i in range(n - 1)):
+                seq = range(ranks[0], ranks[-1] + step, step)
+    if seq is not None:
+        return {"start": seq.start, "stop": seq.stop, "step": seq.step}
+    return [int(r) for r in ranks]
+
+
+def decode_ranks(data: Union[Dict, List]) -> Sequence[int]:
+    """Inverse of :func:`encode_ranks`: a range or an int tuple."""
+    if isinstance(data, dict):
+        return range(int(data["start"]), int(data["stop"]),
+                     int(data["step"]))
+    return tuple(int(r) for r in data)
 
 
 # ---------------------------------------------------------------------------
@@ -255,7 +317,7 @@ class WorkSpec:
 
     population: Dict          # PopulationConfig as a JSON dict
     config: Dict              # CrawlConfig as a JSON dict
-    shards: Tuple[Tuple[int, ...], ...]   # ranks per shard index
+    shards: Tuple[Sequence[int], ...]     # ranks per shard index
     compress: bool = False
     keep_incomplete: bool = False
     #: Fingerprints computed once per plan by the coordinator and
@@ -273,7 +335,8 @@ class WorkSpec:
             population=json.loads(json.dumps(
                 dataclasses.asdict(population.config), default=list)),
             config=_config_to_dict(config),
-            shards=tuple(tuple(shard.ranks) for shard in plan),
+            shards=tuple(shard.ranks if isinstance(shard.ranks, range)
+                         else tuple(shard.ranks) for shard in plan),
             compress=compress,
             keep_incomplete=keep_incomplete,
             population_fp=population_fp,
@@ -294,7 +357,7 @@ class WorkSpec:
             "version": QUEUE_VERSION,
             "population": self.population,
             "config": self.config,
-            "shards": [list(ranks) for ranks in self.shards],
+            "shards": [encode_ranks(ranks) for ranks in self.shards],
             "compress": self.compress,
             "keep_incomplete": self.keep_incomplete,
         }
@@ -309,8 +372,7 @@ class WorkSpec:
         return cls(
             population=dict(data["population"]),
             config=dict(data["config"]),
-            shards=tuple(tuple(int(r) for r in ranks)
-                         for ranks in data["shards"]),
+            shards=tuple(decode_ranks(ranks) for ranks in data["shards"]),
             compress=bool(data["compress"]),
             keep_incomplete=bool(data.get("keep_incomplete", False)),
             population_fp=data.get("population_fp"),
@@ -339,7 +401,7 @@ class ShardTask:
 
     index: int
     of: int
-    ranks: Tuple[int, ...]
+    ranks: Sequence[int]      # range for whole-population plans
     state: str = PENDING
     attempts: int = 0         # leases so far (1 = first execution)
     file: Optional[str] = None
@@ -386,14 +448,14 @@ class WorkQueue:
                run_key: str) -> "WorkQueue":
         path = Path(path)
         tasks = {shard.index: ShardTask(index=shard.index, of=plan.n_shards,
-                                        ranks=tuple(shard.ranks))
+                                        ranks=shard.ranks)
                  for shard in plan}
         queue = cls(path, run_key, tasks)
         records = [{"event": "plan", "version": QUEUE_VERSION,
                     "run_key": run_key, "n_shards": plan.n_shards,
                     "strategy": plan.strategy}]
         records += [{"event": "task", "index": shard.index,
-                     "ranks": list(shard.ranks)} for shard in plan]
+                     "ranks": encode_ranks(shard.ranks)} for shard in plan]
         with open(path, "w", encoding="utf-8") as handle:
             for record in records:
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
@@ -447,7 +509,7 @@ class WorkQueue:
                     index = int(record["index"])
                     tasks[index] = ShardTask(
                         index=index, of=n_shards,
-                        ranks=tuple(int(r) for r in record["ranks"]))
+                        ranks=decode_ranks(record["ranks"]))
                 elif event == "lease":
                     task = tasks[int(record["index"])]
                     task.state = LEASED
@@ -537,20 +599,18 @@ class WorkQueue:
 def _execute_shard(population: Population, config: CrawlConfig,
                    task_ranks: Sequence[int], index: int, of: int,
                    out_dir: Union[str, Path], compress: bool,
-                   keep_incomplete: bool,
-                   by_rank: Optional[Dict[int, object]] = None
-                   ) -> ShardWriteResult:
+                   keep_incomplete: bool) -> ShardWriteResult:
     """Crawl one shard's ranks and stream them to its shard file.
 
-    ``by_rank`` lets callers that execute many shards (backends, pool
-    workers) build the rank→site map once instead of per shard.
+    Sites synthesize lazily per rank — a worker executing one shard of a
+    million-site plan allocates O(shard) site specs, never the
+    population (``tests/test_lazy_population.py`` pins the memory
+    budget with tracemalloc).
     """
-    shard = Shard(index=index, of=of, ranks=tuple(task_ranks))
+    shard = Shard(index=index, of=of, ranks=task_ranks)
     shard_config = derive_shard_config(config, shard)
     crawler = Crawler(population, shard_config)
-    if by_rank is None:
-        by_rank = {site.rank: site for site in population.sites}
-    sites = [by_rank[rank] for rank in shard.ranks]
+    sites = population.sites_for(shard.ranks)
     stream = crawler.icrawl(sites, keep_incomplete=keep_incomplete)
     return write_shard(stream, out_dir, index, compress=compress)
 
@@ -645,13 +705,11 @@ class InProcessBackend(WorkerBackend):
 
     def run(self, ctx: WorkContext,
             tasks: Sequence[ShardTask]) -> Iterator[ShardOutcome]:
-        by_rank = {site.rank: site for site in ctx.population.sites}
         for task in tasks:
             try:
                 written = _execute_shard(
                     ctx.population, ctx.config, task.ranks, task.index,
-                    task.of, ctx.out_dir, ctx.compress, ctx.keep_incomplete,
-                    by_rank=by_rank)
+                    task.of, ctx.out_dir, ctx.compress, ctx.keep_incomplete)
             except Exception as exc:           # noqa: BLE001 — reported
                 yield ShardOutcome(index=task.index, ok=False,
                                    error=f"{type(exc).__name__}: {exc}")
@@ -672,8 +730,7 @@ def _pool_run_shard(args) -> Tuple[int, bool, str, int, str]:
     try:
         written = _execute_shard(_WORKER["population"], _WORKER["config"],
                                  ranks, index, of, directory, compress,
-                                 keep_incomplete,
-                                 by_rank=_WORKER["by_rank"])
+                                 keep_incomplete)
     except Exception as exc:                   # noqa: BLE001 — reported
         return index, False, "", 0, f"{type(exc).__name__}: {exc}"
     return index, True, written.name, written.count, written.sha256
@@ -735,21 +792,36 @@ class SubprocessBackend(WorkerBackend):
     shard file plus one JSON result line on stdout.  A worker that
     crashes (non-zero exit, no result line) is a failed task, which the
     coordinator retries idempotently.
+
+    ``cache_dir`` — a path or a ``store-serve`` URL — is forwarded to
+    every worker as ``crawl-shard --cache-dir``: workers then consult
+    and backfill the shared shard store *themselves* (uploading shard
+    bytes directly, e.g. to the cluster's HTTP store), and the
+    coordinator only moves digests.
     """
 
     name = "subprocess"
 
-    def __init__(self, jobs: int = 1, python: Optional[str] = None):
+    def __init__(self, jobs: int = 1, python: Optional[str] = None,
+                 cache_dir: Optional[Union[str, Path]] = None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.python = python or sys.executable
+        self.cache_dir = cache_dir
 
     def _command(self, ctx: WorkContext, index: int) -> List[str]:
         # The worker runs with cwd=out_dir, so the spec path must be
         # absolute to survive the directory change.
-        return [self.python, "-m", "repro", "crawl-shard",
-                str(Path(ctx.spec_path).resolve()), str(index)]
+        command = [self.python, "-m", "repro", "crawl-shard",
+                   str(Path(ctx.spec_path).resolve()), str(index)]
+        if self.cache_dir is not None:
+            cache = str(self.cache_dir)
+            if "://" not in cache:
+                # Paths must survive the worker's cwd change too.
+                cache = str(Path(cache).resolve())
+            command += ["--cache-dir", cache]
+        return command
 
     def _env(self) -> Dict[str, str]:
         env = dict(os.environ)
@@ -829,14 +901,21 @@ class SubprocessBackend(WorkerBackend):
 
 
 def make_backend(name: str, jobs: int = 1,
-                 mp_context: Optional[str] = None) -> WorkerBackend:
-    """Backend factory for the CLI: inprocess | pool | subprocess."""
+                 mp_context: Optional[str] = None,
+                 cache_dir: Optional[Union[str, Path]] = None
+                 ) -> WorkerBackend:
+    """Backend factory for the CLI: inprocess | pool | subprocess.
+
+    ``cache_dir`` only reaches the subprocess backend (whose workers
+    speak ``--cache-dir`` themselves); in-process backends share the
+    coordinator's store object instead.
+    """
     if name == "inprocess":
         return InProcessBackend()
     if name == "pool":
         return ProcessPoolBackend(jobs=jobs, mp_context=mp_context)
     if name == "subprocess":
-        return SubprocessBackend(jobs=jobs)
+        return SubprocessBackend(jobs=jobs, cache_dir=cache_dir)
     raise ValueError(f"unknown backend {name!r} "
                      "(expected inprocess, pool, or subprocess)")
 
@@ -848,16 +927,42 @@ def make_backend(name: str, jobs: int = 1,
 class ShardStore:
     """Content-addressed cache of crawled shard files.
 
-    Layout: ``<root>/objects/<key[:2]>/<key>/{meta.json, shard.jsonl[.gz]}``
-    where ``key`` is :meth:`shard_key`.  Entries are verified on fetch:
-    a stale entry — missing data file, unreadable meta, or bytes that no
-    longer hash to the recorded digest — is evicted and reported as a
-    miss, so a corrupted cache can only cost a re-crawl, never wrong
-    results.
+    Byte movement is delegated to a :class:`~repro.crawler.storebackends.
+    ShardStoreBackend`; every semantic guarantee lives here, above the
+    seam, and holds for *any* backend:
+
+    * **Content addressing** — entries are keyed :meth:`shard_key`
+      (population fp × config fp × ranks × compression × shard format);
+      scheduling knobs never enter the key.
+    * **Atomic publication** — an entry's blobs are written data-first,
+      ``meta.json`` last (backends write each blob atomically), so meta
+      is the commit record and a torn upload is just a miss.
+    * **Digest verification on fetch** — fetched bytes are re-hashed
+      against the digest recorded in meta; any mismatch (corruption,
+      truncation, a lying remote) evicts the entry and reports a miss.
+      A corrupted cache can only cost a re-crawl, never wrong results.
+    * **Eviction on corruption** — unreadable meta, missing data, or a
+      digest mismatch removes the whole entry so the next run re-crawls
+      and re-publishes cleanly.
+
+    ``ShardStore(root)`` accepts a directory path (wrapped in a
+    :class:`LocalDirectoryBackend`, preserving the pre-seam layout
+    ``<root>/objects/<key[:2]>/<key>/…`` byte-for-byte), an
+    ``http(s)://`` URL (a ``store-serve`` endpoint, via
+    :class:`HTTPStoreBackend`), or a backend instance.
     """
 
-    def __init__(self, root: Union[str, Path]):
-        self.root = Path(root)
+    def __init__(self, root: Union[str, Path, ShardStoreBackend]):
+        if isinstance(root, ShardStoreBackend):
+            self.backend = root
+            self.root = getattr(root, "root", None)
+        elif isinstance(root, str) and root.startswith(("http://",
+                                                        "https://")):
+            self.backend = HTTPStoreBackend(root)
+            self.root = None
+        else:
+            self.backend = LocalDirectoryBackend(root)
+            self.root = Path(root)
 
     # -- keys --------------------------------------------------------------
     @staticmethod
@@ -870,59 +975,57 @@ class ShardStore:
         """
         return _shard_key(population_fp, config_fp, ranks, compress)
 
-    def _entry_dir(self, key: str) -> Path:
-        return self.root / "objects" / key[:2] / key
-
     def _data_name(self, compress: bool) -> str:
         return "shard.jsonl" + (".gz" if compress else "")
 
     # -- operations --------------------------------------------------------
     def get_meta(self, key: str) -> Optional[Dict]:
-        meta_path = self._entry_dir(key) / "meta.json"
+        blob = self.backend.get(key, META_NAME)
+        if blob is None:
+            return None
         try:
-            return json.loads(meta_path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+            return json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
             return None
 
     def contains(self, key: str) -> bool:
-        return self.get_meta(key) is not None
+        return self.backend.exists(key)
 
     def evict(self, key: str) -> None:
-        entry = self._entry_dir(key)
-        if entry.exists():
-            shutil.rmtree(entry)
+        self.backend.evict(key)
 
     def fetch(self, key: str, out_dir: Union[str, Path],
               index: int) -> Optional[ShardWriteResult]:
         """Materialize a cached shard as ``shard-NNNN`` in ``out_dir``.
 
         Returns None on a miss *or* a stale entry (which is evicted).
-        The copied bytes are re-hashed so a hit is always verified.
+        The fetched bytes are re-hashed so a hit is always verified.
         """
         meta = self.get_meta(key)
         if meta is None:
             return None
-        entry = self._entry_dir(key)
         try:
             compress = bool(meta["compress"])
             count = int(meta["count"])
             recorded = str(meta["sha256"])
-            data_path = entry / str(meta["file"])
+            data_name = str(meta["file"])
         except (KeyError, TypeError, ValueError):
             self.evict(key)
             return None
-        if not data_path.exists() or compute_digest(data_path) != recorded:
+        data = self.backend.get(key, data_name)
+        if data is None or hashlib.sha256(data).hexdigest() != recorded:
             self.evict(key)
             return None
         out_dir = Path(out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
         name = shard_filename(index, compress)
-        shutil.copyfile(data_path, out_dir / name)
+        (out_dir / name).write_bytes(data)
         # Rematerialize the sidecar rank→offset index under the target
         # shard name, so a cache-served dataset is just as seekable as a
         # freshly crawled one.  Entries cached before indexes existed
         # simply lack one — read_site's scan fallback covers that.
-        cached_index = load_shard_index(entry, str(meta["file"]))
+        cached_index = shard_index_from_bytes(
+            self.backend.get(key, index_filename(data_name)), data_name)
         if cached_index is not None and cached_index.sha256 == recorded:
             write_shard_index(out_dir / index_filename(name), ShardIndex(
                 file=name, count=cached_index.count,
@@ -937,28 +1040,26 @@ class ShardStore:
         When the shard carries a sidecar rank→offset index, the index
         rides along (stored under the entry's canonical data name) so a
         later :meth:`fetch` can rematerialize it without re-parsing the
-        shard.
+        shard.  All blobs go to the backend in one call, meta last.
         """
         shard_path = Path(shard_path)
-        entry = self._entry_dir(key)
-        entry.mkdir(parents=True, exist_ok=True)
         data_name = self._data_name(compress)
-        digest = sha256 or compute_digest(shard_path)
-        tmp = entry / (data_name + ".tmp")
-        shutil.copyfile(shard_path, tmp)
-        tmp.replace(entry / data_name)
+        data = shard_path.read_bytes()
+        digest = sha256 or hashlib.sha256(data).hexdigest()
+        blobs: Dict[str, bytes] = {data_name: data}
         source_index = load_shard_index(shard_path.parent, shard_path.name)
         if source_index is not None and source_index.sha256 == digest:
-            write_shard_index(entry / index_filename(data_name), ShardIndex(
-                file=data_name, count=source_index.count,
-                sha256=source_index.sha256, ranks=source_index.ranks,
-                offsets=source_index.offsets, lengths=source_index.lengths))
+            blobs[index_filename(data_name)] = shard_index_to_bytes(
+                ShardIndex(file=data_name, count=source_index.count,
+                           sha256=source_index.sha256,
+                           ranks=source_index.ranks,
+                           offsets=source_index.offsets,
+                           lengths=source_index.lengths))
         meta = {"key": key, "file": data_name, "count": int(count),
                 "compress": bool(compress), "sha256": digest}
-        meta_tmp = entry / "meta.json.tmp"
-        meta_tmp.write_text(json.dumps(meta, sort_keys=True, indent=2) + "\n",
-                            encoding="utf-8")
-        meta_tmp.replace(entry / "meta.json")
+        blobs[META_NAME] = (json.dumps(meta, sort_keys=True, indent=2)
+                            + "\n").encode("utf-8")
+        self.backend.put(key, blobs)
 
 
 # ---------------------------------------------------------------------------
@@ -1040,7 +1141,10 @@ class Coordinator:
             "config": self.config_fp,
             "compress": self.compress,
             "keep_incomplete": self.keep_incomplete,
-            "shards": [list(shard.ranks) for shard in plan],
+            # encode_ranks normalizes ranges and arithmetic tuples to one
+            # form, so the run key is O(shards) to compute and identical
+            # however the plan's rank sequences are represented.
+            "shards": [encode_ranks(shard.ranks) for shard in plan],
         }
         blob = json.dumps(payload, sort_keys=True).encode("utf-8")
         return hashlib.sha256(blob).hexdigest()
@@ -1059,7 +1163,7 @@ class Coordinator:
         out_dir = Path(out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
         plan = self.plan(n_shards if n_shards is not None
-                         else max(len(self.population.sites) // 256, 1))
+                         else max(len(self.population) // 256, 1))
         run_key = self._run_key(plan)
         queue = self._open_queue(out_dir, plan, run_key)
 

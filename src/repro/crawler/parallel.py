@@ -51,11 +51,16 @@ __all__ = ["Shard", "ShardPlan", "ParallelCrawler", "derive_shard_config",
 
 @dataclass(frozen=True)
 class Shard:
-    """One unit of parallel work: a set of site ranks."""
+    """One unit of parallel work: a set of site ranks.
+
+    ``ranks`` is any ordered int sequence — plans derived from a whole
+    population keep it as a :class:`range`, so a shard of a 10M-site plan
+    is O(1) memory; explicit site lists yield tuples.
+    """
 
     index: int
     of: int
-    ranks: Tuple[int, ...]
+    ranks: Sequence[int]
 
     def __len__(self) -> int:
         return len(self.ranks)
@@ -91,7 +96,9 @@ class ShardPlan:
     @classmethod
     def for_population(cls, population: Population, n_shards: int,
                        strategy: str = "contiguous") -> "ShardPlan":
-        return cls.for_sites(population.sites, n_shards, strategy)
+        # population.ranks is a range — the plan's shards stay O(1) memory
+        # (range slices), never materializing the population.
+        return cls.for_ranks(population.ranks, n_shards, strategy)
 
     @classmethod
     def for_ranks(cls, ranks: Sequence[int], n_shards: int,
@@ -100,18 +107,25 @@ class ShardPlan:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         if strategy not in ("contiguous", "stride"):
             raise ValueError(f"unknown shard strategy {strategy!r}")
-        ranks = sorted(ranks)
+        if not (isinstance(ranks, range) and ranks.step > 0):
+            ranks = sorted(ranks)
         n_shards = min(n_shards, max(len(ranks), 1))
-        parts: List[Tuple[int, ...]]
+        parts: List[Sequence[int]]
         if strategy == "stride":
-            parts = [tuple(ranks[i::n_shards]) for i in range(n_shards)]
+            # Slicing a range yields ranges; slicing a list yields lists —
+            # freeze the latter to tuples so explicit plans stay hashable.
+            parts = [part if isinstance(part, range) else tuple(part)
+                     for part in (ranks[i::n_shards]
+                                  for i in range(n_shards))]
         else:
             base, extra = divmod(len(ranks), n_shards)
             parts = []
             start = 0
             for index in range(n_shards):
                 size = base + (1 if index < extra else 0)
-                parts.append(tuple(ranks[start:start + size]))
+                part = ranks[start:start + size]
+                parts.append(part if isinstance(part, range)
+                             else tuple(part))
                 start += size
         shards = tuple(Shard(index=i, of=n_shards, ranks=part)
                        for i, part in enumerate(parts))
@@ -169,12 +183,12 @@ _WORKER: Dict[str, object] = {}
 def _init_worker(population: Population, config: CrawlConfig) -> None:
     _WORKER["population"] = population
     _WORKER["config"] = config
-    _WORKER["by_rank"] = {site.rank: site for site in population.sites}
 
 
 def _shard_sites(shard: Shard) -> List[SiteSpec]:
-    by_rank = _WORKER["by_rank"]
-    return [by_rank[rank] for rank in shard.ranks]
+    # Lazy synthesis: each worker materializes only its shard's ranks.
+    population: Population = _WORKER["population"]  # type: ignore[assignment]
+    return population.sites_for(shard.ranks)
 
 
 def _crawl_shard(args) -> Tuple[int, int, List[VisitLog]]:
@@ -252,10 +266,11 @@ class ParallelCrawler:
     # ------------------------------------------------------------------
     def plan(self, sites: Optional[Sequence[SiteSpec]] = None,
              n_shards: Optional[int] = None) -> ShardPlan:
-        if sites is None:
-            sites = self.population.sites
         if n_shards is None:
             n_shards = self.jobs
+        if sites is None:
+            return ShardPlan.for_population(self.population, n_shards,
+                                            self.strategy)
         return ShardPlan.for_sites(sites, n_shards, self.strategy)
 
     # ------------------------------------------------------------------

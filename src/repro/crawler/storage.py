@@ -56,6 +56,8 @@ __all__ = [
     "iter_logs",
     "load_logs",
     "load_shard_index",
+    "shard_index_from_bytes",
+    "shard_index_to_bytes",
     "read_site",
     "read_site_line",
     "save_logs",
@@ -469,31 +471,43 @@ def write_shard_index(path: Union[str, Path], index: ShardIndex) -> Path:
     return path
 
 
-def load_shard_index(directory: Union[str, Path],
-                     shard_name: str) -> Optional["ShardIndex"]:
-    """Parse the sidecar index for ``shard_name``; None if unusable.
+def shard_index_to_bytes(index: ShardIndex) -> bytes:
+    """The sidecar index's canonical serialized bytes.
 
-    "Unusable" covers a missing sidecar, torn/garbage JSON, a version or
-    shard-name mismatch, and inconsistent array lengths — every case
-    degrades to the full-scan fallback rather than raising.
+    Byte-identical to what :func:`write_shard_index` puts on disk, so
+    blob-level stores (see :mod:`repro.crawler.storebackends`) can carry
+    sidecars without their own serializer.
     """
-    path = Path(directory) / index_filename(shard_name)
-    try:
-        data = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError):
+    return (json.dumps(index.to_dict(), separators=(",", ":")) + "\n"
+            ).encode("utf-8")
+
+
+def shard_index_from_bytes(data: Optional[bytes],
+                           shard_name: str) -> Optional["ShardIndex"]:
+    """Parse sidecar-index bytes for ``shard_name``; None if unusable.
+
+    "Unusable" covers absent/torn/garbage JSON, a version or shard-name
+    mismatch, and inconsistent array lengths — every case degrades to
+    the full-scan fallback rather than raising.
+    """
+    if data is None:
         return None
     try:
-        if int(data["version"]) != SHARD_INDEX_VERSION:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    try:
+        if int(payload["version"]) != SHARD_INDEX_VERSION:
             return None
-        if str(data["file"]) != shard_name:
+        if str(payload["file"]) != shard_name:
             return None
         index = ShardIndex(
             file=shard_name,
-            count=int(data["count"]),
-            sha256=str(data["sha256"]),
-            ranks=[int(r) for r in data["ranks"]],
-            offsets=[int(o) for o in data["offsets"]],
-            lengths=[int(n) for n in data["lengths"]],
+            count=int(payload["count"]),
+            sha256=str(payload["sha256"]),
+            ranks=[int(r) for r in payload["ranks"]],
+            offsets=[int(o) for o in payload["offsets"]],
+            lengths=[int(n) for n in payload["lengths"]],
         )
     except (KeyError, TypeError, ValueError):
         return None
@@ -501,6 +515,17 @@ def load_shard_index(directory: Union[str, Path],
             == len(index.lengths) == index.count):
         return None
     return index
+
+
+def load_shard_index(directory: Union[str, Path],
+                     shard_name: str) -> Optional["ShardIndex"]:
+    """Parse the sidecar index for ``shard_name``; None if unusable."""
+    path = Path(directory) / index_filename(shard_name)
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return None
+    return shard_index_from_bytes(data, shard_name)
 
 
 def _open_binary(path: Path):

@@ -1,0 +1,196 @@
+"""Pluggable blob backends for the content-addressed shard store.
+
+:class:`~repro.crawler.distributed.ShardStore` speaks one tiny
+interface — ``get``/``put``/``exists``/``evict`` over
+``(key, blob name) → bytes`` — and keeps every semantic concern
+(content-addressed keys, digest verification on fetch, eviction of
+corrupt entries, sidecar-index handling) above this seam.  Backends only
+move bytes:
+
+* :class:`LocalDirectoryBackend` — today's on-disk layout, byte-for-byte:
+  ``<root>/objects/<key[:2]>/<key>/{meta.json, shard.jsonl[.gz], …}``
+  with tmp-file + atomic-replace writes.
+* :class:`InMemoryBackend` — dict-of-dicts, for fast unit tests.
+* :class:`HTTPStoreBackend` — an S3-style remote store over stdlib HTTP
+  (``GET``/``PUT``/``DELETE /objects/<key>/<name>``), the client half of
+  ``python -m repro store-serve`` (:mod:`repro.serve.store`).  A fleet of
+  ``crawl-shard --cache-dir http://…`` workers then shares one cache
+  across machines.
+
+Backend contract (what ShardStore relies on):
+
+* ``put`` receives every blob of one entry in a single call and MUST
+  write ``meta.json`` last — meta is the entry's commit record, so a
+  reader can never observe meta without the data it describes.  A torn
+  upload (data without meta) is simply a miss.
+* Individual blob writes must be atomic (no reader sees half a blob);
+  the local backend uses tmp + ``os.replace``, the HTTP server applies
+  the same discipline server-side.
+* ``get`` returns the exact stored bytes or ``None`` — backends never
+  verify content; ShardStore re-hashes fetched bytes against the
+  recorded digest and evicts mismatches, so a lying backend can only
+  cost a re-crawl, never wrong results.
+* ``evict`` removes the whole entry and is idempotent.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+__all__ = [
+    "META_NAME",
+    "HTTPStoreBackend",
+    "InMemoryBackend",
+    "LocalDirectoryBackend",
+    "ShardStoreBackend",
+    "StoreBackendError",
+]
+
+#: The commit-record blob: an entry exists iff its meta blob does.
+META_NAME = "meta.json"
+
+
+class StoreBackendError(RuntimeError):
+    """A backend could not complete an operation (I/O or protocol)."""
+
+
+def _meta_last(names: Iterable[str]) -> list:
+    """Blob write order: everything else first, ``meta.json`` last."""
+    ordered = sorted(n for n in names if n != META_NAME)
+    if META_NAME in names:
+        ordered.append(META_NAME)
+    return ordered
+
+
+class ShardStoreBackend:
+    """Moves opaque blobs for :class:`ShardStore`; see the module doc."""
+
+    name = "abstract"
+
+    def get(self, key: str, name: str) -> Optional[bytes]:
+        """The stored bytes of blob ``name`` under ``key``, or None."""
+        raise NotImplementedError
+
+    def put(self, key: str, blobs: Dict[str, bytes]) -> None:
+        """Store one entry's blobs atomically-per-blob, meta last."""
+        raise NotImplementedError
+
+    def exists(self, key: str) -> bool:
+        """Whether ``key`` has a committed entry (a meta blob)."""
+        return self.get(key, META_NAME) is not None
+
+    def evict(self, key: str) -> None:
+        """Remove the whole entry for ``key`` (idempotent)."""
+        raise NotImplementedError
+
+
+class LocalDirectoryBackend(ShardStoreBackend):
+    """The pre-seam filesystem layout, preserved byte-for-byte."""
+
+    name = "local"
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    def _entry_dir(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / key
+
+    def get(self, key: str, name: str) -> Optional[bytes]:
+        try:
+            return (self._entry_dir(key) / name).read_bytes()
+        except OSError:
+            return None
+
+    def put(self, key: str, blobs: Dict[str, bytes]) -> None:
+        entry = self._entry_dir(key)
+        entry.mkdir(parents=True, exist_ok=True)
+        for name in _meta_last(blobs):
+            tmp = entry / (name + ".tmp")
+            tmp.write_bytes(blobs[name])
+            os.replace(tmp, entry / name)
+
+    def exists(self, key: str) -> bool:
+        return (self._entry_dir(key) / META_NAME).exists()
+
+    def evict(self, key: str) -> None:
+        entry = self._entry_dir(key)
+        if entry.exists():
+            shutil.rmtree(entry)
+
+
+class InMemoryBackend(ShardStoreBackend):
+    """Blobs in a dict — unit tests without a filesystem."""
+
+    name = "memory"
+
+    def __init__(self):
+        self._entries: Dict[str, Dict[str, bytes]] = {}
+
+    def get(self, key: str, name: str) -> Optional[bytes]:
+        return self._entries.get(key, {}).get(name)
+
+    def put(self, key: str, blobs: Dict[str, bytes]) -> None:
+        entry = self._entries.setdefault(key, {})
+        for name in _meta_last(blobs):
+            entry[name] = bytes(blobs[name])
+
+    def exists(self, key: str) -> bool:
+        return META_NAME in self._entries.get(key, {})
+
+    def evict(self, key: str) -> None:
+        self._entries.pop(key, None)
+
+
+class HTTPStoreBackend(ShardStoreBackend):
+    """S3-style remote store: blobs as HTTP objects under ``/objects``.
+
+    The server side is ``python -m repro store-serve``
+    (:mod:`repro.serve.store`).  404 means "no such blob" (a miss);
+    every other error is raised as :class:`StoreBackendError` — a broken
+    store must fail loudly, not masquerade as an empty one.
+    """
+
+    name = "http"
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _url(self, key: str, name: Optional[str] = None) -> str:
+        url = f"{self.base_url}/objects/{key}"
+        return url if name is None else f"{url}/{name}"
+
+    def _request(self, method: str, url: str,
+                 data: Optional[bytes] = None) -> Optional[bytes]:
+        request = urllib.request.Request(url, data=data, method=method)
+        if data is not None:
+            request.add_header("Content-Type", "application/octet-stream")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                return None
+            raise StoreBackendError(
+                f"{method} {url} -> HTTP {exc.code}") from exc
+        except urllib.error.URLError as exc:
+            raise StoreBackendError(f"{method} {url}: {exc.reason}") from exc
+
+    def get(self, key: str, name: str) -> Optional[bytes]:
+        return self._request("GET", self._url(key, name))
+
+    def put(self, key: str, blobs: Dict[str, bytes]) -> None:
+        for name in _meta_last(blobs):
+            self._request("PUT", self._url(key, name), data=blobs[name])
+
+    def exists(self, key: str) -> bool:
+        return self._request("HEAD", self._url(key, META_NAME)) is not None
+
+    def evict(self, key: str) -> None:
+        self._request("DELETE", self._url(key))

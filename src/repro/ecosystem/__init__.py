@@ -10,7 +10,8 @@ from .catalog import (
     service_index,
 )
 from .identifiers import SIM_EPOCH, IdFactory
-from .population import Population, PopulationConfig, generate_population
+from .population import (POPULATION_VERSION, Population, PopulationConfig,
+                         generate_population, synthesize_site)
 from .services import DAY, YEAR, CookieSpec, ServiceSpec
 from .site import FirstPartyConfig, FunctionalDep, SiteSpec, SsoFlow
 
@@ -26,9 +27,11 @@ __all__ = [
     "service_index",
     "SIM_EPOCH",
     "IdFactory",
+    "POPULATION_VERSION",
     "Population",
     "PopulationConfig",
     "generate_population",
+    "synthesize_site",
     "DAY",
     "YEAR",
     "CookieSpec",

@@ -1,4 +1,4 @@
-"""The site population sampler (the synthetic Tranco top-20k).
+"""The site population sampler (the synthetic Tranco top-20k … top-10M).
 
 Generates :class:`~repro.ecosystem.site.SiteSpec` instances whose aggregate
 statistics are calibrated to the paper's §5 measurements:
@@ -18,14 +18,26 @@ SSO breakage 11% → 3% with entity whitelist          ``p_sso`` × flow mix
 cross-domain DOM modification on 9.4% of sites       ``p_dom_modifier``
 ==================================================  =======================
 
-Sampling is fully deterministic given the seed.
+Sampling is fully deterministic given the seed, and — since
+``POPULATION_VERSION`` 2 — *per rank*: every site is synthesized from a
+dedicated RNG stream seeded ``[seed, _SITE_STREAM, rank]``, so any site can
+be produced on demand without generating the ranks before it.  That is what
+lets :class:`Population` stay lazy: a worker crawling one shard of a
+10M-site plan synthesizes exactly the ranks in its shard and holds O(shard)
+memory.  Domain collisions are avoided rank-deterministically (the rank is
+embedded in every generated domain) instead of via a shared ``used`` set.
+
+The per-rank stream deliberately differs in shape from the visit stream
+``[seed, site.rank]`` used by the crawler, so population draws never alias
+visit draws.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +45,23 @@ from .catalog import full_catalog, service_index
 from .services import ServiceSpec
 from .site import FirstPartyConfig, FunctionalDep, SiteSpec, SsoFlow
 
-__all__ = ["PopulationConfig", "Population", "generate_population"]
+__all__ = ["PopulationConfig", "Population", "generate_population",
+           "synthesize_site", "POPULATION_VERSION"]
+
+#: Version of the site-synthesis algorithm.  Folded into
+#: ``population_fingerprint`` so cached shards from older synthesis
+#: algorithms can never be confused with current ones.  Bump whenever a
+#: change alters the bytes of any synthesized site.
+#:
+#: * 1 — eager generation, one RNG threaded sequentially through all ranks.
+#: * 2 — lazy per-rank RNG streams ``[seed, _SITE_STREAM, rank]`` with
+#:   rank-embedded (collision-free by construction) generated domains.
+POPULATION_VERSION = 2
+
+#: Namespace constant separating the population stream from the visit
+#: stream (visits are seeded ``[seed, rank]``; sites are seeded
+#: ``[seed, _SITE_STREAM, rank]``).
+_SITE_STREAM = 0x517E
 
 _WORDS_A = ("shop", "news", "blue", "tech", "daily", "green", "meta", "home",
             "star", "cloud", "prime", "swift", "nova", "urban", "alpha",
@@ -53,6 +81,10 @@ _SPECIAL_SITES: Tuple[Tuple[int, str], ...] = (
     (240, "optimonk.com"),
     (310, "goosecreekcandle.com"),
 )
+
+_SPECIAL_BY_RANK = dict(_SPECIAL_SITES)
+
+_ALWAYS_CRAWLABLE = {domain for _rank, domain in _SPECIAL_SITES}
 
 
 @dataclass(frozen=True)
@@ -91,35 +123,254 @@ class PopulationConfig:
     p_http_session_httponly: float = 0.85
 
 
-class Population:
-    """The generated population plus its service catalog."""
+class _SamplingContext:
+    """Population-wide sampling pools, derived once from the catalog.
 
-    def __init__(self, sites: List[SiteSpec], services: Dict[str, ServiceSpec],
-                 config: PopulationConfig):
-        self.sites = sites
-        self.services = services
-        self.config = config
+    Everything here is a pure function of the service catalog — O(services)
+    to build, shared by every per-rank synthesis call.
+    """
+
+    __slots__ = ("pool_keys", "pool_weights", "loader_keys", "sso_keys",
+                 "dom_modifier_keys", "cloakable_keys")
+
+    def __init__(self, services: Dict[str, ServiceSpec]):
+        # SSO and same-entity CDNs are placed by rule, not by popularity,
+        # so exclude them from the generic pool.
+        self.pool_keys = [k for k, s in services.items()
+                          if s.category not in ("sso", "cdn")
+                          and s.archetype != "dom_modifier"
+                          and k not in ("shopify-perf", "admiral")]
+        self.pool_weights = np.array(
+            [services[k].popularity for k in self.pool_keys])
+        self.loader_keys = {k for k, s in services.items()
+                            if s.category in ("tag_manager",)
+                            or s.archetype == "ad_exchange"}
+        self.sso_keys = [k for k, s in services.items()
+                         if s.category == "sso"]
+        self.dom_modifier_keys = [k for k, s in services.items()
+                                  if s.archetype == "dom_modifier"]
+        self.cloakable_keys = [k for k, s in services.items()
+                               if s.archetype in ("pixel", "analytics")
+                               and s.tracking]
+
+
+class _SuccessfulSites(Sequence):
+    """Lazy, sequence-like view over the sites that crawl successfully.
+
+    Iteration synthesizes sites on demand and never materializes the
+    population.  ``len()`` / indexing / slicing resolve the successful rank
+    list on first use (O(population) cheap RNG-prefix scans, O(successes)
+    ints retained) and then synthesize only the requested sites.
+    """
+
+    def __init__(self, population: "Population"):
+        self._population = population
+        self._ranks: Optional[Tuple[int, ...]] = None
+
+    def _successful_ranks(self) -> Tuple[int, ...]:
+        if self._ranks is None:
+            pop = self._population
+            self._ranks = tuple(r for r in pop.ranks
+                                if not pop.rank_crawl_fails(r))
+        return self._ranks
+
+    def __iter__(self) -> Iterator[SiteSpec]:
+        pop = self._population
+        for rank in pop.ranks:
+            if not pop.rank_crawl_fails(rank):
+                yield pop.site(rank)
 
     def __len__(self) -> int:
-        return len(self.sites)
+        return len(self._successful_ranks())
 
-    def successful_sites(self) -> List[SiteSpec]:
-        return [s for s in self.sites if not s.crawl_fails]
+    def __getitem__(self, index):
+        ranks = self._successful_ranks()
+        if isinstance(index, slice):
+            return [self._population.site(r) for r in ranks[index]]
+        return self._population.site(ranks[index])
 
 
-def _site_domain(rng: np.random.Generator, rank: int, used: set) -> str:
-    for _ in range(50):
-        a = _WORDS_A[rng.integers(0, len(_WORDS_A))]
-        b = _WORDS_B[rng.integers(0, len(_WORDS_B))]
-        tld = _SITE_TLDS[rng.integers(0, len(_SITE_TLDS))]
-        suffix = "" if rng.random() < 0.5 else str(rng.integers(2, 99))
-        domain = f"{a}{b}{suffix}.{tld}"
-        if domain not in used:
-            used.add(domain)
-            return domain
-    domain = f"site{rank}.com"
-    used.add(domain)
-    return domain
+class Population:
+    """A lazily synthesized site population plus its service catalog.
+
+    Sites are synthesized on demand from ``[seed, rank]`` — constructing a
+    ``Population`` is O(services) regardless of ``config.n_sites``, and a
+    consumer that touches only one shard's ranks holds O(shard) memory.
+
+    Protocol:
+
+    * ``len(population)`` — the configured site count.
+    * ``population.site(rank)`` — synthesize (with a bounded LRU cache) the
+      site at ``rank`` (1-based).
+    * ``population.iter_sites(ranks=None)`` — stream sites for ``ranks``
+      (default: every rank, in order).
+    * ``population.sites_for(ranks)`` — eager list for one shard's ranks.
+    * ``population.materialize()`` — the full eager list, cached; only
+      appropriate for small populations.
+    * ``population.sites`` — deprecated alias for ``materialize()``; kept
+      so pre-lazy callers and tests work unchanged.  New code should use
+      the lazy accessors above — ``.sites`` on a 10M-site population will
+      happily allocate all 10M specs.
+    """
+
+    def __init__(self, config: PopulationConfig,
+                 services: Optional[Dict[str, ServiceSpec]] = None,
+                 cache_size: int = 4096):
+        self.config = config
+        self._custom_services = services is not None
+        self._services = services
+        self._ctx: Optional[_SamplingContext] = None
+        self._cache_size = cache_size
+        self._cache: "OrderedDict[int, SiteSpec]" = OrderedDict()
+        self._materialized: Optional[List[SiteSpec]] = None
+
+    # -- catalog -----------------------------------------------------------
+
+    @property
+    def services(self) -> Dict[str, ServiceSpec]:
+        if self._services is None:
+            self._services = service_index(
+                full_catalog(self.config.generic_service_count))
+        return self._services
+
+    @property
+    def _context(self) -> _SamplingContext:
+        if self._ctx is None:
+            self._ctx = _SamplingContext(self.services)
+        return self._ctx
+
+    # -- lazy protocol -----------------------------------------------------
+
+    @property
+    def ranks(self) -> range:
+        """Every rank in the population (1-based, ascending)."""
+        return range(1, self.config.n_sites + 1)
+
+    def __len__(self) -> int:
+        return self.config.n_sites
+
+    def site(self, rank: int) -> SiteSpec:
+        """Synthesize (or fetch from cache) the site at ``rank``."""
+        if not 1 <= rank <= self.config.n_sites:
+            raise IndexError(f"rank {rank} outside population "
+                             f"1..{self.config.n_sites}")
+        if self._materialized is not None:
+            return self._materialized[rank - 1]
+        cached = self._cache.get(rank)
+        if cached is not None:
+            self._cache.move_to_end(rank)
+            return cached
+        site = self.synthesize(rank)
+        self._cache[rank] = site
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return site
+
+    def synthesize(self, rank: int) -> SiteSpec:
+        """Synthesize the site at ``rank``, bypassing the cache."""
+        return synthesize_site(self.config, rank, self.services,
+                               self._context)
+
+    def iter_sites(self, ranks: Optional[Iterable[int]] = None
+                   ) -> Iterator[SiteSpec]:
+        """Stream sites for ``ranks`` (default: the whole population)."""
+        for rank in (self.ranks if ranks is None else ranks):
+            yield self.site(rank)
+
+    def sites_for(self, ranks: Iterable[int]) -> List[SiteSpec]:
+        """The sites for one shard's ranks, as an eager list."""
+        return [self.site(rank) for rank in ranks]
+
+    def rank_crawl_fails(self, rank: int) -> bool:
+        """Whether ``rank``'s crawl fails, without full synthesis.
+
+        Replays only the RNG-draw prefix leading up to the ``crawl_fails``
+        decision, so filtering a huge population by crawl outcome costs a
+        cheap per-rank check instead of a full ``SiteSpec`` synthesis.
+        Kept in draw-for-draw lockstep with :func:`synthesize_site`
+        (guarded by ``tests/test_lazy_population.py``).
+        """
+        if self._materialized is not None:
+            return self._materialized[rank - 1].crawl_fails
+        cached = self._cache.get(rank)
+        if cached is not None:
+            return cached.crawl_fails
+        if rank in _SPECIAL_BY_RANK:
+            return False
+        rng = np.random.default_rng(
+            [self.config.seed, _SITE_STREAM, rank])
+        _site_domain(rng, rank)
+        return bool(rng.random() < self.config.p_crawl_fail)
+
+    # -- eager adapters ----------------------------------------------------
+
+    def materialize(self) -> List[SiteSpec]:
+        """Build (once) and return the full eager site list."""
+        if self._materialized is None:
+            self._materialized = [self.synthesize(rank)
+                                  for rank in self.ranks]
+            self._cache.clear()
+        return self._materialized
+
+    @property
+    def sites(self) -> List[SiteSpec]:
+        """Deprecated: the fully materialized site list.
+
+        Kept for pre-lazy callers; allocates every ``SiteSpec`` in the
+        population.  Prefer ``site(rank)`` / ``iter_sites(ranks)`` /
+        ``sites_for(ranks)``, which hold O(requested) memory.
+        """
+        return self.materialize()
+
+    def successful_sites(self) -> _SuccessfulSites:
+        """Lazy sequence view of the sites whose crawl succeeds.
+
+        Supports iteration, ``len()``, indexing, and slicing without
+        materializing the population.
+        """
+        return _SuccessfulSites(self)
+
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self):
+        # Workers rebuild the catalog and caches locally: the pickle is a
+        # config (plus any injected custom catalog), not a site list.
+        state = {"config": self.config, "cache_size": self._cache_size}
+        if self._custom_services:
+            state["services"] = self._services
+        return state
+
+    def __setstate__(self, state):
+        self.__init__(state["config"], services=state.get("services"),
+                      cache_size=state.get("cache_size", 4096))
+
+
+def generate_population(config: Optional[PopulationConfig] = None
+                        ) -> Population:
+    """Build the synthetic top-N population (lazily — O(services) cost)."""
+    return Population(config or PopulationConfig())
+
+
+def synthesize_site(config: PopulationConfig, rank: int,
+                    services: Dict[str, ServiceSpec],
+                    ctx: _SamplingContext) -> SiteSpec:
+    """Synthesize the single site at ``rank`` from its dedicated stream."""
+    rng = np.random.default_rng([config.seed, _SITE_STREAM, rank])
+    domain = _SPECIAL_BY_RANK.get(rank) or _site_domain(rng, rank)
+    return _generate_site(rng, rank, domain, config, services, ctx)
+
+
+def _site_domain(rng: np.random.Generator, rank: int) -> str:
+    """A generated domain with the rank embedded.
+
+    Embedding the rank makes generated domains injective per rank (so the
+    whole population is collision-free with no shared state), and they can
+    never collide with the fixed special-site domains.
+    """
+    a = _WORDS_A[rng.integers(0, len(_WORDS_A))]
+    b = _WORDS_B[rng.integers(0, len(_WORDS_B))]
+    tld = _SITE_TLDS[rng.integers(0, len(_SITE_TLDS))]
+    return f"{a}{b}{rank}.{tld}"
 
 
 def _weighted_sample(rng: np.random.Generator, keys: Sequence[str],
@@ -139,46 +390,8 @@ def _weighted_sample(rng: np.random.Generator, keys: Sequence[str],
     return [keys[int(i)] for i in picks]
 
 
-def generate_population(config: Optional[PopulationConfig] = None) -> Population:
-    """Generate the synthetic top-N population."""
-    config = config or PopulationConfig()
-    rng = np.random.default_rng(config.seed)
-    services = service_index(full_catalog(config.generic_service_count))
-
-    # Sampling pools (SSO and same-entity CDNs are placed by rule, not by
-    # popularity, so exclude them from the generic pool).
-    pool_keys = [k for k, s in services.items()
-                 if s.category not in ("sso", "cdn")
-                 and s.archetype != "dom_modifier"
-                 and k not in ("shopify-perf", "admiral")]
-    pool_weights = np.array([services[k].popularity for k in pool_keys])
-    loader_keys = {k for k, s in services.items()
-                   if s.category in ("tag_manager",) or s.archetype == "ad_exchange"}
-    sso_keys = [k for k, s in services.items() if s.category == "sso"]
-    dom_modifier_keys = [k for k, s in services.items()
-                         if s.archetype == "dom_modifier"]
-    cloakable_keys = [k for k, s in services.items()
-                      if s.archetype in ("pixel", "analytics") and s.tracking]
-
-    special_by_rank = dict(_SPECIAL_SITES)
-    used_domains = {d for _, d in _SPECIAL_SITES}
-    sites: List[SiteSpec] = []
-
-    for rank in range(1, config.n_sites + 1):
-        domain = special_by_rank.get(rank) or _site_domain(rng, rank, used_domains)
-        site = _generate_site(rng, rank, domain, config, services,
-                              pool_keys, pool_weights, loader_keys,
-                              sso_keys, dom_modifier_keys, cloakable_keys)
-        sites.append(site)
-    return Population(sites, services, config)
-
-
-_ALWAYS_CRAWLABLE = {domain for _rank, domain in _SPECIAL_SITES}
-
-
-def _generate_site(rng, rank, domain, config, services, pool_keys,
-                   pool_weights, loader_keys, sso_keys, dom_modifier_keys,
-                   cloakable_keys) -> SiteSpec:
+def _generate_site(rng, rank, domain, config, services,
+                   ctx: _SamplingContext) -> SiteSpec:
     crawl_fails = (rng.random() < config.p_crawl_fail
                    and domain not in _ALWAYS_CRAWLABLE)
     has_third_party = rng.random() < config.p_third_party
@@ -196,7 +409,7 @@ def _generate_site(rng, rank, domain, config, services, pool_keys,
             direct.append("googletagmanager")
             chosen.add("googletagmanager")
             n_direct = max(n_direct - 1, 0)
-        direct.extend(_weighted_sample(rng, pool_keys, pool_weights,
+        direct.extend(_weighted_sample(rng, ctx.pool_keys, ctx.pool_weights,
                                        n_direct, chosen))
         chosen.update(direct)
         # Sites run ONE Google analytics integration: gtag via GTM or the
@@ -213,7 +426,7 @@ def _generate_site(rng, rank, domain, config, services, pool_keys,
         factor = float(rng.lognormal(math.log(config.indirect_factor),
                                      config.indirect_sigma))
         n_indirect = int(round(len(direct) * factor))
-        present_loaders = [k for k in direct if k in loader_keys]
+        present_loaders = [k for k in direct if k in ctx.loader_keys]
         if n_indirect > 0 and not present_loaders:
             direct.append("googletagmanager")
             chosen.add("googletagmanager")
@@ -228,12 +441,12 @@ def _generate_site(rng, rank, domain, config, services, pool_keys,
             exclude = set(chosen)
             if "googletagmanager" in chosen:
                 exclude.update(("google-analytics", "ua-legacy"))
-            children = _weighted_sample(rng, pool_keys, pool_weights,
+            children = _weighted_sample(rng, ctx.pool_keys, ctx.pool_weights,
                                         n_indirect, exclude)
             chosen.update(children)
             buckets: Dict[str, List[str]] = {k: [] for k in present_loaders}
             # Nested chains: a loader child can itself become a loader.
-            nested_loaders = [c for c in children if c in loader_keys]
+            nested_loaders = [c for c in children if c in ctx.loader_keys]
             for child in children:
                 if nested_loaders and child not in nested_loaders \
                         and rng.random() < 0.35:
@@ -266,7 +479,8 @@ def _generate_site(rng, rank, domain, config, services, pool_keys,
         if rng.random() < config.p_admiral:
             direct.append("admiral")
         if rng.random() < config.p_dom_modifier:
-            pick = dom_modifier_keys[int(rng.integers(0, len(dom_modifier_keys)))]
+            pick = ctx.dom_modifier_keys[
+                int(rng.integers(0, len(ctx.dom_modifier_keys)))]
             if pick not in chosen:
                 direct.append(pick)
                 chosen.add(pick)
@@ -279,15 +493,16 @@ def _generate_site(rng, rank, domain, config, services, pool_keys,
         if domain == "zoom.us":
             sso = SsoFlow("microsoft-sso", "live-sso", severity="major")
         elif shape < same_dom:
-            key = sso_keys[int(rng.integers(0, len(sso_keys)))]
+            key = ctx.sso_keys[int(rng.integers(0, len(ctx.sso_keys)))]
             sso = SsoFlow(key, key, severity="major")
         elif shape < same_dom + same_ent:
             sso = SsoFlow("microsoft-sso", "live-sso",
                           severity="minor" if rng.random() < config.p_sso_minor
                           else "major")
         else:
-            pair = rng.choice(len(sso_keys), size=2, replace=False)
-            setter, reader = sso_keys[int(pair[0])], sso_keys[int(pair[1])]
+            pair = rng.choice(len(ctx.sso_keys), size=2, replace=False)
+            setter = ctx.sso_keys[int(pair[0])]
+            reader = ctx.sso_keys[int(pair[1])]
             sso = SsoFlow(setter, reader, severity="major")
         for key in (sso.setter_key, sso.reader_key):
             if key not in chosen:
@@ -351,25 +566,34 @@ def _generate_site(rng, rank, domain, config, services, pool_keys,
     # CNAME-cloaked trackers (§8 evasion).
     cloaked: Tuple[str, ...] = ()
     if has_third_party and rng.random() < config.p_cloaked:
-        pick = cloakable_keys[int(rng.integers(0, len(cloakable_keys)))]
+        pick = ctx.cloakable_keys[
+            int(rng.integers(0, len(ctx.cloakable_keys)))]
         if pick not in chosen:
             cloaked = (pick,)
 
+    def _pin_direct_pair(creator_key: str, stealer_key: str) -> None:
+        # Case-study wiring must not depend on the organic draw: the
+        # cookie creator has to run before the stealer, so both are
+        # pulled out of any indirect chain and pinned, in order, at the
+        # end of the direct list.
+        nonlocal indirect
+        pair = (creator_key, stealer_key)
+        indirect = {loader: pruned for loader, children in indirect.items()
+                    if (pruned := tuple(c for c in children
+                                        if c not in pair))}
+        direct[:] = [k for k in direct if k not in pair]
+        direct.extend(pair)
+        chosen.update(pair)
+
     service_overrides: Dict[str, Dict] = {}
     if domain == "optimonk.com":
-        for key in ("googletagmanager", "linkedin-insight"):
-            if key not in chosen:
-                direct.append(key)
-                chosen.add(key)
+        _pin_direct_pair("googletagmanager", "linkedin-insight")
         # The §5.4 case study: the insight tag deterministically parses
         # and Base64-exfiltrates the _ga client id on this site.
         service_overrides["linkedin-insight"] = {"steal_prob": 1.0,
                                                  "async_prob": 0.0}
     if domain == "goosecreekcandle.com":
-        for key in ("facebook-pixel", "osano"):
-            if key not in chosen:
-                direct.append(key)
-                chosen.add(key)
+        _pin_direct_pair("facebook-pixel", "osano")
         # The §5.4 Osano→Criteo identifier-sharing case study.
         service_overrides["osano"] = {"steal_prob": 1.0, "async_prob": 0.0,
                                       "delete_prob": 0.0}

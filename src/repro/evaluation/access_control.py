@@ -80,8 +80,8 @@ def evaluate_access_control(population: Population,
     The same seed drives both conditions, so the only difference between
     the two crawls is the guard itself.
     """
-    if sites is None:
-        sites = population.sites
+    # sites=None streams the whole population lazily inside each crawl
+    # (Crawler.crawl synthesizes per rank), so no eager site list here.
     regular = Crawler(population, CrawlConfig(seed=seed)).crawl(sites)
     guarded = Crawler(population, CrawlConfig(
         seed=seed, install_guard=True, guard_policy=guard_policy)).crawl(sites)

@@ -144,13 +144,16 @@ def evaluate_breakage(population: Population,
     import numpy as np
 
     if sites is None:
-        eligible = [s for s in population.sites
-                    if s.rank <= top_k and not s.crawl_fails]
+        # Rank-range query: the fail filter replays only each rank's RNG
+        # draw prefix, so sampling never synthesizes the population.
+        eligible = [rank for rank in range(1, min(top_k, len(population)) + 1)
+                    if not population.rank_crawl_fails(rank)]
         rng = np.random.default_rng([seed, 100])
         picks = rng.choice(len(eligible),
                            size=min(sample_size, len(eligible)),
                            replace=False)
-        sites = [eligible[int(i)] for i in sorted(picks)]
+        sites = population.sites_for(
+            [eligible[int(i)] for i in sorted(picks)])
 
     policy = PolicyConfig()
     if use_entity_whitelist:

@@ -149,6 +149,7 @@ def evaluate_performance(population: Population, *, top_k: int = 10_000,
     report."""
     if logs is None:
         from ..crawler.crawler import CrawlConfig, Crawler
-        sites = [s for s in population.sites if s.rank <= top_k]
+        sites = population.iter_sites(
+            range(1, min(top_k, len(population)) + 1))
         logs = Crawler(population, CrawlConfig(seed=seed)).crawl(sites)
     return paired_timings_from_logs(logs, model=model, seed=seed)

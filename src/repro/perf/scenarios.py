@@ -333,6 +333,71 @@ register(Scenario(
 ))
 
 
+def _synthesize_state(n_sites: int, count: int):
+    # One-time costs (service catalog, sampling pools) belong to setup:
+    # synthesizing a probe site builds both, so the timed run measures
+    # pure per-rank synthesis — the lazy population's marginal cost.
+    population = _population(n_sites)
+    population.synthesize(1)
+    ranks = [1 + (i * 7919) % n_sites for i in range(count)]
+    return population, ranks
+
+
+def _synthesize_run(state) -> int:
+    population, ranks = state
+    for rank in ranks:
+        site = population.synthesize(rank)
+        assert site.rank == rank
+    return len(ranks)
+
+
+register(Scenario(
+    name="population_synthesize",
+    description="per-rank SiteSpec synthesis across a 1M-site lazy "
+                "population (the cost a worker pays per site instead "
+                "of materializing the plan)",
+    setup=lambda: _synthesize_state(1_000_000, 400),
+    quick_setup=lambda: _synthesize_state(100_000, 100),
+    run=_synthesize_run,
+    units="sites",
+))
+
+
+def _store_state(n_sites: int, sample: int, roundtrips: int):
+    from ..crawler.distributed import ShardStore
+    from ..crawler.storage import write_shard
+    from ..crawler.storebackends import InMemoryBackend
+    scratch = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
+    directory = Path(scratch.name)
+    written = write_shard(_logs_state(n_sites, sample), directory, 0)
+    store = ShardStore(InMemoryBackend())
+    keys = [ShardStore.shard_key("pop", "cfg", [i], False)
+            for i in range(roundtrips)]
+    return (store, directory / written.name, written,
+            directory / "out", keys, scratch)
+
+
+def _store_run(state) -> int:
+    store, shard_path, written, out_dir, keys, _scratch = state
+    for key in keys:
+        store.put(key, shard_path, count=written.count, compress=False)
+        fetched = store.fetch(key, out_dir, 0)
+        assert fetched is not None and fetched.sha256 == written.sha256
+    return len(keys)
+
+
+register(Scenario(
+    name="store_roundtrip",
+    description="ShardStore put+verified fetch of one shard through the "
+                "in-memory backend (hash + blob movement above the "
+                "backend seam, no crawl, no disk variance)",
+    setup=lambda: _store_state(120, 100, 12),
+    quick_setup=lambda: _store_state(40, 25, 6),
+    run=_store_run,
+    units="roundtrips",
+))
+
+
 # ---------------------------------------------------------------------------
 # Hot-path micro-scenarios
 # ---------------------------------------------------------------------------

@@ -71,12 +71,14 @@ from .etag import (canonical_resource, etag_matches, listing_etag,
                    quote_etag, resource_etag, study_etag)
 from .queries import (Param, QueryError, ReportQuery, get_query,
                       iter_queries, parse_params)
+from .store import ShardStoreHandler, make_store_server, serve_store
 
 __all__ = [
     "Param",
     "QueryError",
     "ReportQuery",
     "ServeError",
+    "ShardStoreHandler",
     "StudyCatalog",
     "StudyCatalogHandler",
     "StudyEntry",
@@ -86,9 +88,11 @@ __all__ = [
     "iter_queries",
     "listing_etag",
     "make_server",
+    "make_store_server",
     "parse_params",
     "quote_etag",
     "resource_etag",
     "serve",
+    "serve_store",
     "study_etag",
 ]

@@ -1,0 +1,177 @@
+"""``python -m repro store-serve`` — the shard store's HTTP face.
+
+A minimal S3-style blob service over a :class:`~repro.crawler.
+storebackends.LocalDirectoryBackend`, built on the standard library's
+``http.server`` like the rest of :mod:`repro.serve`.  Running it turns
+one machine's shard-cache directory into a cluster-shared store:
+``crawl --cache-dir http://host:port`` coordinators and
+``crawl-shard --cache-dir http://host:port`` workers then read and
+upload shards through :class:`~repro.crawler.storebackends.
+HTTPStoreBackend`, and the coordinator only moves digests.
+
+Protocol (all bodies are opaque bytes)::
+
+    GET     /objects/<key>/<name>   -> 200 blob bytes | 404
+    HEAD    /objects/<key>/<name>   -> 200 | 404
+    PUT     /objects/<key>/<name>   -> 204 (atomic tmp+rename write)
+    DELETE  /objects/<key>          -> 204 (evict whole entry; idempotent)
+    GET     /healthz                -> 200 {"status": "ok"}
+
+The server stores blobs exactly where a local :class:`ShardStore`
+would (``<root>/objects/<key[:2]>/<key>/<name>``), so a directory can
+be used locally and served remotely interchangeably.  Trust lives in
+the client: ``ShardStore`` re-hashes every fetched blob against the
+digest its meta records, so a corrupted or tampered store costs a
+re-crawl, never wrong bytes.  The server only validates names — keys
+are lowercase-hex content addresses, blob names a conservative
+charset — which keeps path traversal impossible.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Tuple, Union
+from urllib.parse import unquote, urlsplit
+
+from ..crawler.storebackends import LocalDirectoryBackend
+
+__all__ = ["ShardStoreHandler", "make_store_server", "serve_store"]
+
+#: Cache keys are sha256 hexdigests; accept shorter hex for forward
+#: compatibility but nothing outside lowercase hex.
+_KEY_RE = re.compile(r"[0-9a-f]{6,64}")
+#: Blob names: the conservative charset ShardStore actually uses
+#: (``meta.json``, ``shard.jsonl[.gz]``, ``shard.index.json``).  No
+#: separators, no leading dot — traversal is unexpressible.
+_NAME_RE = re.compile(r"[A-Za-z0-9_-][A-Za-z0-9._-]{0,127}")
+
+#: Uploads larger than this are refused outright (a shard blob is
+#: shard-sized; a multi-GB PUT is a client bug or abuse).
+MAX_BLOB_BYTES = 1 << 30
+
+
+class ShardStoreHandler(BaseHTTPRequestHandler):
+    """Routes blob requests onto the server's directory backend."""
+
+    server_version = "repro-store/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> LocalDirectoryBackend:
+        return self.server.backend  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._serve_blob(send_body=True)
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._serve_blob(send_body=False)
+
+    def do_PUT(self) -> None:  # noqa: N802
+        target = self._blob_target()
+        if target is None:
+            return
+        key, name = target
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._respond(411, b"length required\n")
+            return
+        if not 0 <= length <= MAX_BLOB_BYTES:
+            self._respond(413, b"blob too large\n")
+            return
+        data = self.rfile.read(length)
+        if len(data) != length:
+            # Torn upload: the client died mid-body.  Nothing is
+            # written, so the entry stays publishable-later.
+            self._respond(400, b"truncated body\n")
+            return
+        self.backend.put(key, {name: data})
+        self._respond(204)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        parts = self._path_parts()
+        if (len(parts) == 2 and parts[0] == "objects"
+                and _KEY_RE.fullmatch(parts[1])):
+            self.backend.evict(parts[1])
+            self._respond(204)
+            return
+        self._respond(404, b"no such resource\n")
+
+    # ------------------------------------------------------------------
+    def _path_parts(self) -> list:
+        return [unquote(p) for p in urlsplit(self.path).path.split("/")
+                if p]
+
+    def _blob_target(self) -> Optional[Tuple[str, str]]:
+        """Parse and validate ``/objects/<key>/<name>``; 404 otherwise."""
+        parts = self._path_parts()
+        if (len(parts) == 3 and parts[0] == "objects"
+                and _KEY_RE.fullmatch(parts[1])
+                and _NAME_RE.fullmatch(parts[2])):
+            return parts[1], parts[2]
+        self._respond(404, b"no such resource\n")
+        return None
+
+    def _serve_blob(self, send_body: bool) -> None:
+        parts = self._path_parts()
+        if parts == ["healthz"]:
+            body = (json.dumps({"status": "ok"}) + "\n").encode("utf-8")
+            self._respond(200, body if send_body else b"",
+                          content_length=len(body))
+            return
+        target = self._blob_target()
+        if target is None:
+            return
+        data = self.backend.get(*target)
+        if data is None:
+            self._respond(404, b"no such blob\n" if send_body else b"")
+            return
+        self._respond(200, data if send_body else b"",
+                      content_length=len(data))
+
+    def _respond(self, status: int, body: bytes = b"",
+                 content_length: Optional[int] = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length",
+                         str(content_length if content_length is not None
+                             else len(body)))
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+
+def make_store_server(root: Union[str, Path], host: str = "127.0.0.1",
+                      port: int = 8412,
+                      verbose: bool = False) -> ThreadingHTTPServer:
+    """Build (but don't start) the store server; port 0 picks a free one."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    server = ThreadingHTTPServer((host, port), ShardStoreHandler)
+    server.backend = LocalDirectoryBackend(root)  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def serve_store(root: Union[str, Path], host: str = "127.0.0.1",
+                port: int = 8412, verbose: bool = False) -> None:
+    """Serve ``root`` until interrupted (the CLI entry point)."""
+    server = make_store_server(root, host, port, verbose=verbose)
+    address = f"http://{server.server_address[0]}:{server.server_address[1]}"
+    print(f"store-serve: sharing {Path(root).resolve()} at {address} "
+          f"(Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

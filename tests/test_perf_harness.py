@@ -175,7 +175,7 @@ class TestCommittedBaseline:
         against must parse and cover every registered scenario."""
         from pathlib import Path
         report = load_report(
-            Path(__file__).parent.parent / "BENCH_8.quick.json")
+            Path(__file__).parent.parent / "BENCH_9.quick.json")
         registered = {s.name for s in harness.iter_scenarios()}
         assert registered <= set(report["scenarios"])
         for entry in report["scenarios"].values():
