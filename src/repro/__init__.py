@@ -15,6 +15,8 @@ Layers (bottom-up):
 * :mod:`repro.ecosystem` — synthetic tracker/site ecosystem calibrated to
   the paper's measurements.
 * :mod:`repro.crawler` — the Selenium-style crawl harness.
+* :mod:`repro.faults` — seeded deterministic fault injection for
+  chaos-testing the distributed crawl runtime.
 * :mod:`repro.analysis` — filter lists, entity map, cross-domain access
   detection, exfiltration detection, and table/figure generators.
 * :mod:`repro.evaluation` — Figure 5 / Table 3 / Table 4 evaluations.

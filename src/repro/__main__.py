@@ -8,6 +8,7 @@ evaluate [N]
     run the §7 CookieGuard evaluation (default 1000 sites)
 crawl [N] [OUT] [--jobs J] [--concurrency C] [--shards S] [--gzip]
       [--progress] [--backend B] [--cache-dir D] [--max-retries R]
+      [--task-timeout S] [--store-retries N] [--store-backoff S]
     crawl and save raw visit logs.  OUT is a single ``.jsonl[.gz]``
     file by default; with ``--shards`` it is a directory holding
     ``shard-NNNN.jsonl[.gz]`` files plus a ``manifest.json``.  With
@@ -54,7 +55,9 @@ store-serve [ROOT] [--host H] [--port P] [--verbose]
     share a shard-cache directory (default ``shard-cache``) over HTTP
     (``repro.serve.store``) so that ``crawl``/``crawl-shard`` on other
     machines can use ``--cache-dir http://HOST:PORT`` and read/upload
-    shards through one cluster-wide content-addressed store
+    shards through one cluster-wide content-addressed store.
+    ``/healthz`` reports liveness; ``/readyz`` reports readiness (the
+    root is writable, so uploads will land)
 index-shards DIR [DIR ...] [--force]
     backfill sidecar seek indexes (``shard-NNNN.index.json``) for
     existing sharded crawl directories; shard bytes, digests, and
@@ -95,6 +98,19 @@ Options
 --max-retries R  retry a failed/lost shard up to R times (default 2)
                  before giving up; retried bytes must match any
                  previously recorded digest.
+--task-timeout S lease deadline in seconds (subprocess backend): a
+                 worker still running past it is killed, its log kept
+                 as evidence, and the shard re-pended under the same
+                 digest-checked retry invariant.  Default: no deadline.
+--store-retries N / --store-backoff S
+                 retry policy for an ``http(s)://`` --cache-dir store:
+                 N total attempts (default 3) with exponential backoff
+                 starting at S seconds (default 0.1) for idempotent
+                 requests (GET/HEAD/content-addressed PUT).  When the
+                 store stays down past the budget the crawl degrades:
+                 shards spill to ``OUT/store-overflow`` and are
+                 reconciled to the store by a later run.  None of
+                 these knobs enter cache keys or output bytes.
 
 A lone ``--`` ends option parsing; later arguments are positional.
 """
@@ -104,8 +120,8 @@ from __future__ import annotations
 import sys
 from typing import List
 
-from .cliutil import (pop_choice_flag, pop_flag, pop_int_flag, pop_switch,
-                      reject_unknown_flags)
+from .cliutil import (pop_choice_flag, pop_flag, pop_float_flag,
+                      pop_int_flag, pop_switch, reject_unknown_flags)
 
 
 def _usage() -> None:
@@ -123,9 +139,14 @@ def _run_crawl(args: List[str]) -> None:
                                    ["inprocess", "pool", "subprocess"])
     cache_dir = pop_flag(args, "--cache-dir")
     max_retries = pop_int_flag(args, "--max-retries", 2, minimum=0)
+    task_timeout = pop_float_flag(args, "--task-timeout", None,
+                                  minimum=0, exclusive_minimum=True)
+    store_retries = pop_int_flag(args, "--store-retries", 3, minimum=1)
+    store_backoff = pop_float_flag(args, "--store-backoff", 0.1, minimum=0)
     reject_unknown_flags(args)
     n_sites = int(args[0]) if args else 2000
-    distributed = backend_name is not None or cache_dir is not None
+    distributed = (backend_name is not None or cache_dir is not None
+                   or task_timeout is not None)
     # The shard count is deliberately NOT derived from --jobs: shard
     # ranks are part of the cache key, so a jobs change must not change
     # the plan (the coordinator's own default is population-sized).
@@ -142,13 +163,28 @@ def _run_crawl(args: List[str]) -> None:
     config = CrawlConfig(seed=2025, concurrency=concurrency)
     progress = print_progress if show_progress else None
     if distributed:
-        from .crawler import Coordinator, ShardStore, make_backend
+        from pathlib import Path
+
+        from .crawler import (Coordinator, HTTPStoreBackend, RetryPolicy,
+                              ShardStore, make_backend)
         backend = make_backend(backend_name or "inprocess", jobs=jobs,
                                cache_dir=cache_dir)
-        store = ShardStore(cache_dir) if cache_dir else None
+        store = None
+        if cache_dir:
+            # The CLI runs resilient by default: a store outage spills
+            # to OUT/store-overflow (reconciled by a later run) instead
+            # of failing the crawl.  Retry/backoff/overflow are pure
+            # scheduling — cache keys and shard bytes are unaffected.
+            target = (HTTPStoreBackend(
+                cache_dir, retry=RetryPolicy(attempts=store_retries,
+                                             backoff=store_backoff))
+                if "://" in cache_dir else cache_dir)
+            store = ShardStore(target,
+                               overflow_dir=Path(out) / "store-overflow")
         coordinator = Coordinator(population, config, backend=backend,
                                   max_retries=max_retries, store=store,
-                                  compress=compress, progress=progress)
+                                  compress=compress, progress=progress,
+                                  task_timeout=task_timeout)
         report = coordinator.run(out, n_shards=shards)
         print(f"saved {report.manifest.total} visit logs to {out}/ "
               f"({report.manifest.n_shards} shards, "

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-__all__ = ["pop_choice_flag", "pop_flag", "pop_int_flag", "pop_switch",
-           "reject_unknown_flags"]
+__all__ = ["pop_choice_flag", "pop_flag", "pop_float_flag", "pop_int_flag",
+           "pop_switch", "reject_unknown_flags"]
 
 
 def _flag_region(args: List[str]) -> int:
@@ -69,6 +69,31 @@ def pop_int_flag(args: List[str], name: str, default: int,
     if minimum is not None and value < minimum:
         print(f"{name} must be >= {minimum}, got {value}")
         raise SystemExit(2)
+    return value
+
+
+def pop_float_flag(args: List[str], name: str,
+                   default: Optional[float] = None,
+                   minimum: Optional[float] = None,
+                   exclusive_minimum: bool = False) -> Optional[float]:
+    """Extract ``--name VALUE`` as a float (exit 2 on a bad value).
+
+    ``minimum`` validates the lower bound; with ``exclusive_minimum``
+    the bound itself is rejected too (e.g. a timeout must be > 0).
+    """
+    raw = pop_flag(args, name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        print(f"{name} expects a number, got {raw!r}")
+        raise SystemExit(2)
+    if minimum is not None:
+        if value < minimum or (exclusive_minimum and value == minimum):
+            op = ">" if exclusive_minimum else ">="
+            print(f"{name} must be {op} {minimum:g}, got {raw}")
+            raise SystemExit(2)
     return value
 
 

@@ -38,11 +38,24 @@ This module turns that contract into a coordinator/worker system:
   change re-crawls.  Stale entries (bytes that no longer hash to the
   recorded digest) are evicted and treated as a miss.
 
-Fault-injection hook: when the environment variable
-:data:`FAULT_ONCE_ENV` names a directory, a ``crawl-shard`` worker
-hard-exits (simulating a killed worker) the *first* time it runs each
-shard, leaving a marker file so the retry succeeds.  Only the test
-suite and the ``coordinator-faults`` CI job set it.
+Fault injection: the runtime declares :mod:`repro.faults` injection
+points — ``worker.exec`` in :func:`run_shard_worker` (crash/hang),
+``journal.append`` in :meth:`WorkQueue._append` (torn record) — so a
+seeded :class:`~repro.faults.FaultPlan` can drive reproducible chaos
+schedules (the chaos matrix in ``tests/test_faults.py`` and the
+``chaos-smoke`` CI job).  The legacy :data:`FAULT_ONCE_ENV` hook (a
+directory path; each shard worker crashes once) is kept as shorthand,
+reimplemented as an implicit crash-once plan.
+
+Resilience: ``Coordinator(task_timeout=...)`` arms a lease deadline —
+the subprocess backend kills a worker whose deadline passes (its log
+is preserved and named in the outcome) and the task is re-pended under
+the same digest-checked retry invariant.  A :class:`ShardStore`
+constructed with ``overflow_dir`` degrades gracefully when its backend
+is unreachable: fetches become misses, puts spill to the local
+overflow directory, and :meth:`ShardStore.reconcile_overflow` uploads
+the spill once the store answers again — a flaky shared store costs
+warnings and re-crawls, never a failed run or wrong bytes.
 """
 
 from __future__ import annotations
@@ -62,6 +75,7 @@ from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
 
 from ..ecosystem.population import (POPULATION_VERSION, Population,
                                     PopulationConfig)
+from ..faults import FaultPlan, FaultPoint, InjectedFault, maybe_fire
 from .crawler import CrawlConfig, Crawler, config_fingerprint
 from .parallel import (CrawlProgress, Shard, ShardPlan, derive_shard_config,
                        _init_worker, _WORKER)
@@ -113,6 +127,9 @@ WORKSPEC_NAME = "workspec.json"
 QUEUE_VERSION = 3
 
 #: Test-only hook: a directory path; each shard worker crashes once.
+#: Shorthand for a ``FaultPlan([FaultPoint("worker.exec", kind="crash",
+#: times=1)], state_dir=<dir>)`` — the general mechanism is
+#: :data:`repro.faults.FAULT_PLAN_ENV`.
 FAULT_ONCE_ENV = "REPRO_FAULT_ONCE_DIR"
 
 # Task states (journal values, also in-memory).
@@ -555,8 +572,19 @@ class WorkQueue:
         # stable storage before the coordinator acts on it, or an OS
         # crash could reorder a completion record after the shard file
         # it describes and break the digest-checked retry invariant.
+        line = json.dumps(record, sort_keys=True) + "\n"
+        point = maybe_fire("journal.append")
         with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            if point is not None and point.kind == "torn":
+                # Simulate a crash mid-append: half the record reaches
+                # stable storage, then the process "dies".  load()'s
+                # torn-tail tolerance must replay this as lost work.
+                handle.write(line[:max(len(line) // 2, 1)])
+                handle.flush()
+                os.fsync(handle.fileno())
+                raise InjectedFault(
+                    f"torn journal append at {self.path}")
+            handle.write(line)
             handle.flush()
             os.fsync(handle.fileno())
 
@@ -615,6 +643,30 @@ def _execute_shard(population: Population, config: CrawlConfig,
     return write_shard(stream, out_dir, index, compress=compress)
 
 
+def _worker_exec_fault(index: int) -> None:
+    """Evaluate the ``worker.exec`` injection point for one shard.
+
+    ``crash`` hard-exits like a killed worker (no result line, exit 3);
+    ``hang`` blocks like a wedged one (exercising ``--task-timeout``).
+    The legacy :data:`FAULT_ONCE_ENV` directory hook is shorthand for a
+    crash-once plan whose counters persist in that directory.
+    """
+    from .. import faults
+    fault_dir = os.environ.get(FAULT_ONCE_ENV)
+    if fault_dir:
+        plan = FaultPlan([FaultPoint("worker.exec", kind="crash", times=1)],
+                         state_dir=fault_dir)
+        if plan.fires("worker.exec", scope=str(index)) is not None:
+            # Simulate a killed worker: no result line, hard non-zero exit.
+            os._exit(3)
+    point = maybe_fire("worker.exec", scope=str(index))
+    if point is not None:
+        if point.kind == "crash":
+            os._exit(3)
+        if point.kind == "hang":
+            faults.sleep_for(point)
+
+
 def run_shard_worker(spec_path: Union[str, Path], index: int,
                      out_dir: Optional[Union[str, Path]] = None,
                      cache_dir: Optional[Union[str, Path]] = None) -> Dict:
@@ -636,18 +688,15 @@ def run_shard_worker(spec_path: Union[str, Path], index: int,
     if not 0 <= index < len(spec.shards):
         raise CoordinationError(
             f"shard index {index} out of range 0..{len(spec.shards) - 1}")
-    fault_dir = os.environ.get(FAULT_ONCE_ENV)
-    if fault_dir:
-        marker = Path(fault_dir) / f"shard-{index:04d}.tripped"
-        if not marker.exists():
-            marker.parent.mkdir(parents=True, exist_ok=True)
-            marker.touch()
-            # Simulate a killed worker: no result line, hard non-zero exit.
-            os._exit(3)
+    _worker_exec_fault(index)
     target = Path(out_dir) if out_dir is not None else spec_path.parent
     store = key = None
     if cache_dir is not None:
-        store = ShardStore(cache_dir)
+        # Workers degrade gracefully by default: a store outage spills
+        # shards to a local overflow dir next to the output instead of
+        # failing the task (the coordinator reconciles later).
+        store = ShardStore(cache_dir,
+                           overflow_dir=target / "store-overflow")
         key = spec.key_factory().key_for(spec.shards[index])
         cached = store.fetch(key, target, index)
         if cached is not None:
@@ -681,6 +730,9 @@ class WorkContext:
     compress: bool
     keep_incomplete: bool
     spec_path: Optional[Path] = None   # workspec.json (subprocess protocol)
+    #: Lease deadline in seconds: a task still running past it is
+    #: killed and re-pended (subprocess backend; see Coordinator).
+    task_timeout: Optional[float] = None
 
 
 class WorkerBackend:
@@ -838,32 +890,63 @@ class SubprocessBackend(WorkerBackend):
                 "subprocess backend needs a workspec.json "
                 "(coordinator did not write one)")
         env = self._env()
+        timeout = ctx.task_timeout
         queue = list(tasks)
-        running: List[Tuple[ShardTask, subprocess.Popen, Path]] = []
+        running: List[Tuple[ShardTask, subprocess.Popen, Path,
+                            Optional[float]]] = []
         while queue or running:
             while queue and len(running) < self.jobs:
                 task = queue.pop(0)
                 # Worker output goes to files, not pipes: a chatty
                 # worker would fill the OS pipe buffer, block in
                 # write(), and never exit — deadlocking this poll loop.
-                log_path = ctx.out_dir / f".worker-{task.index:04d}.log"
+                # The attempt number is part of the name so a log kept
+                # as evidence (timeout, protocol failure) is never
+                # clobbered by the retry's output.
+                log_path = ctx.out_dir / (
+                    f".worker-{task.index:04d}-a{task.attempts:02d}.log")
                 with open(log_path, "w", encoding="utf-8") as log:
                     proc = subprocess.Popen(
                         self._command(ctx, task.index), env=env,
                         stdout=log, stderr=subprocess.STDOUT,
                         cwd=str(ctx.out_dir))
-                running.append((task, proc, log_path))
-            still_running: List[Tuple[ShardTask, subprocess.Popen, Path]] = []
+                deadline = (time.monotonic() + timeout
+                            if timeout is not None else None)
+                running.append((task, proc, log_path, deadline))
+            still_running: List[Tuple[ShardTask, subprocess.Popen, Path,
+                                      Optional[float]]] = []
             progressed = False
-            for task, proc, log_path in running:
+            for task, proc, log_path, deadline in running:
                 if proc.poll() is None:
-                    still_running.append((task, proc, log_path))
+                    if deadline is not None \
+                            and time.monotonic() >= deadline:
+                        progressed = True
+                        yield self._kill_on_deadline(task, proc, log_path,
+                                                     timeout or 0.0)
+                        continue
+                    still_running.append((task, proc, log_path, deadline))
                     continue
                 progressed = True
                 yield self._finish(task, proc, log_path)
             running = still_running
             if running and not progressed:
                 time.sleep(0.02)
+
+    def _kill_on_deadline(self, task: ShardTask, proc: subprocess.Popen,
+                          log_path: Path, timeout: float) -> ShardOutcome:
+        """Kill a worker whose lease deadline passed; report the task lost.
+
+        The worker log is deliberately preserved — it is the only
+        evidence of where the worker wedged — and the outcome names its
+        path (the parse-failure retention precedent).  The coordinator
+        re-pends the task under the digest-checked retry invariant.
+        """
+        proc.kill()
+        proc.wait()
+        return ShardOutcome(
+            index=task.index, ok=False,
+            error=f"worker exceeded task deadline ({timeout:g}s) and was "
+                  f"killed (worker log kept at {log_path})")
 
     def _finish(self, task: ShardTask, proc: subprocess.Popen,
                 log_path: Path) -> ShardOutcome:
@@ -950,19 +1033,49 @@ class ShardStore:
     ``<root>/objects/<key[:2]>/<key>/…`` byte-for-byte), an
     ``http(s)://`` URL (a ``store-serve`` endpoint, via
     :class:`HTTPStoreBackend`), or a backend instance.
+
+    **Degraded mode.**  Without ``overflow_dir`` the store is strict: a
+    backend that cannot be reached raises :class:`StoreBackendError`
+    and fails the run (the historical behavior).  With ``overflow_dir``
+    the store degrades gracefully past the backend's retry budget:
+    fetches/existence checks fall back to the local overflow directory
+    (then report a miss), puts spill entries there, and each incident
+    raises a :class:`RuntimeWarning` — the run completes with re-crawls
+    and warnings instead of an error.  :meth:`reconcile_overflow`
+    uploads spilled entries once the backend answers again.  Overflow
+    placement is pure scheduling; keys, bytes, and digests are
+    identical either way.
     """
 
-    def __init__(self, root: Union[str, Path, ShardStoreBackend]):
-        if isinstance(root, ShardStoreBackend):
-            self.backend = root
-            self.root = getattr(root, "root", None)
-        elif isinstance(root, str) and root.startswith(("http://",
-                                                        "https://")):
+    def __init__(self, root: Union[str, Path, ShardStoreBackend],
+                 overflow_dir: Optional[Union[str, Path]] = None):
+        if isinstance(root, str) and root.startswith(("http://",
+                                                      "https://")):
             self.backend = HTTPStoreBackend(root)
             self.root = None
-        else:
+        elif isinstance(root, (str, Path)):
             self.backend = LocalDirectoryBackend(root)
             self.root = Path(root)
+        else:
+            # Any backend-shaped object (including wrappers like
+            # repro.faults.FaultyBackend that don't subclass the base).
+            self.backend = root
+            self.root = getattr(root, "root", None)
+        self.overflow_dir = (Path(overflow_dir) if overflow_dir is not None
+                             else None)
+        self._overflow: Optional[LocalDirectoryBackend] = (
+            LocalDirectoryBackend(self.overflow_dir)
+            if self.overflow_dir is not None else None)
+        #: Degradation counters (observability + test assertions).
+        self.stats: Dict[str, int] = {"store_errors": 0, "spilled": 0,
+                                      "reconciled": 0}
+
+    def _degraded(self, detail: str) -> None:
+        self.stats["store_errors"] += 1
+        warnings.warn(
+            f"shard store degraded ({detail}); continuing with local "
+            f"overflow at {self.overflow_dir}", RuntimeWarning,
+            stacklevel=3)
 
     # -- keys --------------------------------------------------------------
     @staticmethod
@@ -979,20 +1092,39 @@ class ShardStore:
         return "shard.jsonl" + (".gz" if compress else "")
 
     # -- operations --------------------------------------------------------
-    def get_meta(self, key: str) -> Optional[Dict]:
-        blob = self.backend.get(key, META_NAME)
+    @staticmethod
+    def _meta_from(backend: ShardStoreBackend,
+                   key: str) -> Tuple[bool, Optional[Dict]]:
+        """(meta blob present, parsed meta or None) for one backend."""
+        blob = backend.get(key, META_NAME)
         if blob is None:
-            return None
+            return False, None
         try:
-            return json.loads(blob.decode("utf-8"))
+            return True, json.loads(blob.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
-            return None
+            return True, None
+
+    def get_meta(self, key: str) -> Optional[Dict]:
+        return self._meta_from(self.backend, key)[1]
 
     def contains(self, key: str) -> bool:
-        return self.backend.exists(key)
+        try:
+            return self.backend.exists(key)
+        except StoreBackendError as exc:
+            if self._overflow is None:
+                raise
+            self._degraded(f"exists: {exc}")
+            return self._overflow.exists(key)
 
     def evict(self, key: str) -> None:
-        self.backend.evict(key)
+        try:
+            self.backend.evict(key)
+        except StoreBackendError as exc:
+            if self._overflow is None:
+                raise
+            self._degraded(f"evict: {exc}")
+        if self._overflow is not None:
+            self._overflow.evict(key)
 
     def fetch(self, key: str, out_dir: Union[str, Path],
               index: int) -> Optional[ShardWriteResult]:
@@ -1000,9 +1132,28 @@ class ShardStore:
 
         Returns None on a miss *or* a stale entry (which is evicted).
         The fetched bytes are re-hashed so a hit is always verified.
+        In degraded mode an unreachable backend falls back to the local
+        overflow directory and then reports a miss — never an error.
         """
-        meta = self.get_meta(key)
+        try:
+            return self._fetch_from(self.backend, key, out_dir, index)
+        except StoreBackendError as exc:
+            if self._overflow is None:
+                raise
+            self._degraded(f"fetch: {exc}")
+            return self._fetch_from(self._overflow, key, out_dir, index)
+
+    def _fetch_from(self, backend: ShardStoreBackend, key: str,
+                    out_dir: Union[str, Path],
+                    index: int) -> Optional[ShardWriteResult]:
+        present, meta = self._meta_from(backend, key)
         if meta is None:
+            if present:
+                # meta.json is the commit record; torn/garbage bytes
+                # there mean the commit never happened.  Evict so the
+                # entry reads as a clean miss and can republish — it
+                # must never linger corrupt-but-present.
+                backend.evict(key)
             return None
         try:
             compress = bool(meta["compress"])
@@ -1010,11 +1161,11 @@ class ShardStore:
             recorded = str(meta["sha256"])
             data_name = str(meta["file"])
         except (KeyError, TypeError, ValueError):
-            self.evict(key)
+            backend.evict(key)
             return None
-        data = self.backend.get(key, data_name)
+        data = backend.get(key, data_name)
         if data is None or hashlib.sha256(data).hexdigest() != recorded:
-            self.evict(key)
+            backend.evict(key)
             return None
         out_dir = Path(out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -1025,7 +1176,7 @@ class ShardStore:
         # freshly crawled one.  Entries cached before indexes existed
         # simply lack one — read_site's scan fallback covers that.
         cached_index = shard_index_from_bytes(
-            self.backend.get(key, index_filename(data_name)), data_name)
+            backend.get(key, index_filename(data_name)), data_name)
         if cached_index is not None and cached_index.sha256 == recorded:
             write_shard_index(out_dir / index_filename(name), ShardIndex(
                 file=name, count=cached_index.count,
@@ -1040,7 +1191,9 @@ class ShardStore:
         When the shard carries a sidecar rank→offset index, the index
         rides along (stored under the entry's canonical data name) so a
         later :meth:`fetch` can rematerialize it without re-parsing the
-        shard.  All blobs go to the backend in one call, meta last.
+        shard.  All blobs go to the backend in one call, meta last.  In
+        degraded mode an unreachable backend spills the entry to the
+        overflow directory instead of failing the crawl.
         """
         shard_path = Path(shard_path)
         data_name = self._data_name(compress)
@@ -1059,7 +1212,46 @@ class ShardStore:
                 "compress": bool(compress), "sha256": digest}
         blobs[META_NAME] = (json.dumps(meta, sort_keys=True, indent=2)
                             + "\n").encode("utf-8")
-        self.backend.put(key, blobs)
+        try:
+            self.backend.put(key, blobs)
+        except StoreBackendError as exc:
+            if self._overflow is None:
+                raise
+            self._degraded(f"put: {exc}")
+            self._overflow.put(key, blobs)
+            self.stats["spilled"] += 1
+
+    def reconcile_overflow(self) -> int:
+        """Upload spilled overflow entries to the backend; count moved.
+
+        Stops at the first backend error (the store is still down) —
+        the remaining entries stay spilled for a later reconcile.  A
+        spilled entry without its committing ``meta.json`` is skipped
+        (a torn spill is a miss, same as everywhere else).
+        """
+        if self._overflow is None or self.overflow_dir is None:
+            return 0
+        objects = self.overflow_dir / "objects"
+        if not objects.is_dir():
+            return 0
+        moved = 0
+        for entry in sorted(objects.glob("*/*")):
+            if not entry.is_dir():
+                continue
+            blobs = {blob.name: blob.read_bytes()
+                     for blob in entry.iterdir()
+                     if blob.is_file() and not blob.name.endswith(".tmp")}
+            if META_NAME not in blobs:
+                continue
+            try:
+                self.backend.put(entry.name, blobs)
+            except StoreBackendError as exc:
+                self._degraded(f"reconcile: {exc}")
+                break
+            self._overflow.evict(entry.name)
+            moved += 1
+            self.stats["reconciled"] += 1
+        return moved
 
 
 # ---------------------------------------------------------------------------
@@ -1101,9 +1293,13 @@ class Coordinator:
                  compress: bool = False,
                  keep_incomplete: bool = False,
                  strategy: str = "contiguous",
-                 progress: Optional[Callable[[CrawlProgress], None]] = None):
+                 progress: Optional[Callable[[CrawlProgress], None]] = None,
+                 task_timeout: Optional[float] = None):
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be > 0 seconds, got {task_timeout}")
         self.population = population
         self.config = config or CrawlConfig()
         policy = self.config.guard_policy
@@ -1116,6 +1312,10 @@ class Coordinator:
                 "fingerprinted for the shard cache; run without a store")
         self.backend = backend or InProcessBackend()
         self.max_retries = max_retries
+        # A lease deadline, not an output knob: enforced by the
+        # subprocess backend's poll loop (in-process backends cannot be
+        # killed safely mid-shard).  Never part of run or cache keys.
+        self.task_timeout = task_timeout
         self.store = store
         self.compress = compress
         self.keep_incomplete = keep_incomplete
@@ -1170,6 +1370,11 @@ class Coordinator:
         started = time.monotonic()
         stats = {"executed": 0, "cached": 0, "reused": 0, "visits": 0,
                  "retries": 0}
+        if self.store is not None:
+            # A previous degraded run may have spilled shards locally;
+            # move them to the shared store before resolving cache hits
+            # so a recovered store serves them instead of re-crawling.
+            self.store.reconcile_overflow()
         self._reconcile_done(queue, out_dir, stats)
         self._resolve_cache_hits(queue, out_dir, plan, stats, started)
         self._dispatch(queue, out_dir, plan, stats, started)
@@ -1246,7 +1451,8 @@ class Coordinator:
                   stats: Dict[str, int], started: float) -> None:
         ctx = WorkContext(population=self.population, config=self.config,
                           out_dir=out_dir, compress=self.compress,
-                          keep_incomplete=self.keep_incomplete)
+                          keep_incomplete=self.keep_incomplete,
+                          task_timeout=self.task_timeout)
         if isinstance(self.backend, SubprocessBackend):
             spec = WorkSpec.build(self.population, self.config, plan,
                                   self.compress, self.keep_incomplete,

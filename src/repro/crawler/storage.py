@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import (Dict, Iterable, Iterator, List, NamedTuple, Optional,
                     Sequence, Tuple, Union)
 
+from ..faults import InjectedFault, maybe_fire
 from .logs import VisitLog
 
 __all__ = [
@@ -365,8 +366,17 @@ def write_shard(logs: Iterable[VisitLog], directory: Union[str, Path],
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     name = shard_filename(index, compress)
-    return _write_shard(logs, directory / name,
-                        index_path=directory / index_filename(name))
+    result = _write_shard(logs, directory / name,
+                          index_path=directory / index_filename(name))
+    point = maybe_fire("storage.write_shard", scope=str(index))
+    if point is not None and point.kind == "torn":
+        # Simulate a crash mid-write: truncate the freshly written
+        # shard and fail the task.  The retry rewrites the file from
+        # scratch, so the recorded digest must still be reproduced.
+        with open(directory / name, "r+b") as handle:
+            handle.truncate(max(handle.seek(0, 2) // 2, 1))
+        raise InjectedFault(f"torn shard write: {name}")
+    return result
 
 
 def save_shard(logs: Iterable[VisitLog], directory: Union[str, Path],

@@ -31,14 +31,27 @@ Backend contract (what ShardStore relies on):
   recorded digest and evicts mismatches, so a lying backend can only
   cost a re-crawl, never wrong results.
 * ``evict`` removes the whole entry and is idempotent.
+* A backend that cannot *reach* its storage raises
+  :class:`StoreBackendError` — a dead store must never masquerade as an
+  empty one (only a true 404/absent blob is a miss).
+
+The HTTP client retries transient failures under a :class:`RetryPolicy`
+(bounded attempts, exponential backoff) — but only for idempotent
+operations: ``GET``/``HEAD`` are reads and ``PUT`` bodies are
+content-addressed blobs, so replaying them is safe; everything else
+fails fast.  Retry knobs are pure scheduling and never enter cache keys
+or output bytes.
 """
 
 from __future__ import annotations
 
+import http.client
 import os
 import shutil
+import time
 import urllib.error
 import urllib.request
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Union
 
@@ -47,6 +60,7 @@ __all__ = [
     "HTTPStoreBackend",
     "InMemoryBackend",
     "LocalDirectoryBackend",
+    "RetryPolicy",
     "ShardStoreBackend",
     "StoreBackendError",
 ]
@@ -56,7 +70,49 @@ META_NAME = "meta.json"
 
 
 class StoreBackendError(RuntimeError):
-    """A backend could not complete an operation (I/O or protocol)."""
+    """A backend could not complete an operation (I/O or protocol).
+
+    ``retryable`` marks failures worth repeating under a
+    :class:`RetryPolicy` (connection trouble, 5xx, torn responses);
+    protocol-level rejections (a 403, an over-size 413) are not.
+    """
+
+    def __init__(self, message: str, retryable: bool = True):
+        super().__init__(message)
+        self.retryable = retryable
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for idempotent store requests.
+
+    ``attempts`` counts total tries (1 = no retry); the Nth retry waits
+    ``min(backoff * multiplier**(N-1), max_backoff)`` seconds.  These
+    knobs shape only *when* bytes move, never *which* bytes — they are
+    excluded from cache keys and output by construction.
+    """
+
+    attempts: int = 3
+    backoff: float = 0.1
+    multiplier: float = 2.0
+    max_backoff: float = 2.0
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.multiplier < 1:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_backoff < 0:
+            raise ValueError(
+                f"max_backoff must be >= 0, got {self.max_backoff}")
+
+    def delay(self, retry_index: int) -> float:
+        """Seconds to wait before retry number ``retry_index`` (0-based)."""
+        return min(self.backoff * self.multiplier ** retry_index,
+                   self.max_backoff)
 
 
 def _meta_last(names: Iterable[str]) -> list:
@@ -111,7 +167,15 @@ class LocalDirectoryBackend(ShardStoreBackend):
         entry.mkdir(parents=True, exist_ok=True)
         for name in _meta_last(blobs):
             tmp = entry / (name + ".tmp")
-            tmp.write_bytes(blobs[name])
+            # fsync before the rename (the journal-append / manifest-save
+            # precedent): without it a host crash can publish a committed
+            # name whose bytes never reached the platter — a torn object
+            # behind a valid meta.json.  This is also store-serve's PUT
+            # durability, since the handler delegates here.
+            with open(tmp, "wb") as handle:
+                handle.write(blobs[name])
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, entry / name)
 
     def exists(self, key: str) -> bool:
@@ -146,20 +210,33 @@ class InMemoryBackend(ShardStoreBackend):
         self._entries.pop(key, None)
 
 
+#: HTTP methods safe to replay: reads, plus PUT — every PUT body here
+#: is a content-addressed blob, so a duplicate write is a no-op.
+_IDEMPOTENT = frozenset({"GET", "HEAD", "PUT"})
+#: Non-5xx statuses still worth a retry (timeout, throttling).
+_RETRYABLE_STATUS = frozenset({408, 429})
+
+
 class HTTPStoreBackend(ShardStoreBackend):
     """S3-style remote store: blobs as HTTP objects under ``/objects``.
 
     The server side is ``python -m repro store-serve``
     (:mod:`repro.serve.store`).  404 means "no such blob" (a miss);
-    every other error is raised as :class:`StoreBackendError` — a broken
-    store must fail loudly, not masquerade as an empty one.
+    every other failure — connection refused, a garbage or truncated
+    response, a 5xx — raises :class:`StoreBackendError`: a broken store
+    must fail loudly, not masquerade as an empty one.  Transient
+    failures of idempotent requests (GET/HEAD/PUT-of-content-addressed
+    bytes) are retried under ``retry``; anything else fails fast.
     """
 
     name = "http"
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retry: Optional[RetryPolicy] = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = time.sleep   # injectable for tests
 
     def _url(self, key: str, name: Optional[str] = None) -> str:
         url = f"{self.base_url}/objects/{key}"
@@ -167,6 +244,20 @@ class HTTPStoreBackend(ShardStoreBackend):
 
     def _request(self, method: str, url: str,
                  data: Optional[bytes] = None) -> Optional[bytes]:
+        attempts = self.retry.attempts if method in _IDEMPOTENT else 1
+        for attempt in range(attempts):
+            if attempt:
+                self._sleep(self.retry.delay(attempt - 1))
+            try:
+                return self._request_once(method, url, data)
+            except StoreBackendError as exc:
+                if not exc.retryable or attempt + 1 >= attempts:
+                    raise
+                last = exc
+        raise last  # pragma: no cover — unreachable (loop always raises)
+
+    def _request_once(self, method: str, url: str,
+                      data: Optional[bytes] = None) -> Optional[bytes]:
         request = urllib.request.Request(url, data=data, method=method)
         if data is not None:
             request.add_header("Content-Type", "application/octet-stream")
@@ -178,9 +269,20 @@ class HTTPStoreBackend(ShardStoreBackend):
             if exc.code == 404:
                 return None
             raise StoreBackendError(
-                f"{method} {url} -> HTTP {exc.code}") from exc
+                f"{method} {url} -> HTTP {exc.code}",
+                retryable=(exc.code >= 500
+                           or exc.code in _RETRYABLE_STATUS)) from exc
         except urllib.error.URLError as exc:
             raise StoreBackendError(f"{method} {url}: {exc.reason}") from exc
+        except (http.client.HTTPException, OSError) as exc:
+            # urllib only wraps errors raised while *opening* the
+            # connection; a server that answers with a garbage status
+            # line (BadStatusLine), truncates a Content-Length body
+            # (IncompleteRead), or resets mid-read escapes as a raw
+            # HTTPException / OSError / timeout.  All of them mean "the
+            # store is broken", never "the blob is absent".
+            raise StoreBackendError(
+                f"{method} {url}: {type(exc).__name__}: {exc}") from exc
 
     def get(self, key: str, name: str) -> Optional[bytes]:
         return self._request("GET", self._url(key, name))

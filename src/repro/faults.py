@@ -1,0 +1,364 @@
+"""``repro.faults`` — seeded, deterministic fault injection.
+
+The ROADMAP invariant promises that *any* schedule — including
+crash/retry/resume — reproduces bit-identical output.  This module
+turns faults into a first-class, reproducible input so that promise can
+be exercised continuously (the chaos matrix in ``tests/test_faults.py``
+and the ``chaos-smoke`` CI job) instead of by ad-hoc monkeypatching.
+
+A :class:`FaultPlan` is a set of named :class:`FaultPoint`\\ s.  Code
+under test declares injection points by calling
+:func:`maybe_fire(name, scope)` at the places faults can strike:
+
+=====================  ====================================================
+point name             where it is evaluated
+=====================  ====================================================
+``worker.exec``        :func:`repro.crawler.distributed.run_shard_worker`,
+                       before the shard executes (kinds: ``crash`` —
+                       hard ``os._exit(3)``; ``hang`` — sleep ``arg``
+                       seconds, exercising ``--task-timeout``)
+``journal.append``     :meth:`WorkQueue._append` (kind ``torn`` — half a
+                       record reaches disk, then the append raises)
+``storage.write_shard``:func:`repro.crawler.storage.write_shard` (kind
+                       ``torn`` — the shard file is truncated after a
+                       successful write and the call raises)
+``store.get`` /        :class:`FaultyBackend` around any
+``store.put`` /        :class:`~repro.crawler.storebackends.
+``store.exists`` /     ShardStoreBackend` (kinds: ``error`` — raise
+``store.evict``        :class:`StoreBackendError`; ``corrupt`` — mangle
+                       fetched bytes; ``torn`` — drop the committing
+                       ``meta.json`` from a put)
+``http.response``      :class:`repro.serve.store.ShardStoreHandler`
+                       (kinds: ``http-503`` — answer 503; ``close`` —
+                       slam the connection without a status line)
+=====================  ====================================================
+
+**Determinism.**  Whether an evaluation fires is a pure function of
+``(plan seed, point name, scope, evaluation ordinal)`` — a SHA-256 draw,
+no RNG objects, no wall clock — so a fault schedule replays exactly
+from its spec, across processes and across runs.  Per-``(name, scope)``
+evaluation/fire counters are kept in memory and, when the plan carries a
+``state_dir``, persisted as tiny JSON files *before* the fault acts —
+a worker that hard-exits or hangs still records its fire, so the retry
+sees a fresh ordinal and ``times``-capped points stay capped across
+process boundaries.
+
+**Propagation.**  ``install_plan(plan)`` activates a plan in-process and
+(when it has a ``state_dir``) exports it as JSON in the
+:data:`FAULT_PLAN_ENV` environment variable, which subprocess workers
+inherit; :func:`active_plan` lazily hydrates from that variable, so the
+same plan spec drives coordinator, pool, and subprocess schedules.
+
+Fault knobs are pure scheduling: nothing here may enter cache keys,
+manifests, or shard bytes (the chaos matrix pins byte-identical output
+against a fault-free golden run).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultPoint",
+    "FaultyBackend",
+    "InjectedFault",
+    "active_plan",
+    "clear_plan",
+    "install_plan",
+    "maybe_fire",
+]
+
+#: JSON plan spec inherited by subprocess workers (see module doc).
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected failure (never raised in production)."""
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One named injection point's behavior within a plan.
+
+    ``rate`` is the per-evaluation Bernoulli probability; ``times``
+    caps total fires per ``(name, scope)`` stream (None = unlimited);
+    ``after`` skips the first N evaluations of each stream; ``arg`` is
+    a kind-specific knob (hang seconds, ...).
+    """
+
+    name: str
+    kind: str = "error"
+    rate: float = 1.0
+    times: Optional[int] = None
+    after: int = 0
+    arg: Optional[float] = None
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"name": self.name, "kind": self.kind}
+        if self.rate != 1.0:
+            out["rate"] = self.rate
+        if self.times is not None:
+            out["times"] = self.times
+        if self.after:
+            out["after"] = self.after
+        if self.arg is not None:
+            out["arg"] = self.arg
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPoint":
+        return cls(
+            name=str(data["name"]),
+            kind=str(data.get("kind", "error")),
+            rate=float(data.get("rate", 1.0)),
+            times=(None if data.get("times") is None
+                   else int(data["times"])),
+            after=int(data.get("after", 0)),
+            arg=(None if data.get("arg") is None else float(data["arg"])),
+        )
+
+
+def _draw(seed: int, name: str, scope: str, ordinal: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one evaluation."""
+    blob = f"{seed}\x1f{name}\x1f{scope}\x1f{ordinal}".encode("utf-8")
+    raw = int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+    return raw / 2.0 ** 64
+
+
+_SAFE_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+class FaultPlan:
+    """A seeded set of fault points plus the counters that pace them."""
+
+    def __init__(self, points: Sequence[FaultPoint], seed: int = 0,
+                 state_dir: Optional[Union[str, Path]] = None):
+        self.points: Tuple[FaultPoint, ...] = tuple(points)
+        self.seed = int(seed)
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self._by_name: Dict[str, Tuple[FaultPoint, ...]] = {}
+        for point in self.points:
+            self._by_name.setdefault(point.name, ())
+            self._by_name[point.name] += (point,)
+        # (name, scope) -> [evals, fires]; the in-process counters.
+        self._state: Dict[Tuple[str, str], list] = {}
+
+    # -- spec round-trip ---------------------------------------------------
+    def to_spec(self) -> Dict:
+        spec: Dict = {"seed": self.seed,
+                      "points": [p.to_dict() for p in self.points]}
+        if self.state_dir is not None:
+            spec["state_dir"] = str(self.state_dir)
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: Dict) -> "FaultPlan":
+        return cls(points=[FaultPoint.from_dict(p)
+                           for p in spec.get("points", [])],
+                   seed=int(spec.get("seed", 0)),
+                   state_dir=spec.get("state_dir"))
+
+    # -- cross-process counter state ---------------------------------------
+    def _state_path(self, name: str, scope: str) -> Path:
+        assert self.state_dir is not None
+        label = _SAFE_RE.sub("_", f"{name}.{scope}" if scope else name)
+        return self.state_dir / f"{label}.json"
+
+    def _load_state(self, name: str, scope: str) -> list:
+        key = (name, scope)
+        if self.state_dir is not None:
+            try:
+                data = json.loads(self._state_path(name, scope).read_text(
+                    encoding="utf-8"))
+                return [int(data["evals"]), int(data["fires"])]
+            except (OSError, ValueError, KeyError, TypeError):
+                pass
+        return self._state.get(key, [0, 0])
+
+    def _save_state(self, name: str, scope: str, state: list) -> None:
+        self._state[(name, scope)] = state
+        if self.state_dir is None:
+            return
+        path = self._state_path(name, scope)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Persisted BEFORE the caller acts on the decision: a fire that
+        # ends in os._exit or a kill is still on record, so the retried
+        # process sees a fresh ordinal and `times` caps hold.
+        path.write_text(json.dumps({"evals": state[0], "fires": state[1]}),
+                        encoding="utf-8")
+
+    # -- the decision ------------------------------------------------------
+    def fires(self, name: str, scope: Optional[str] = None
+              ) -> Optional[FaultPoint]:
+        """Evaluate point ``name`` once; the firing point or ``None``.
+
+        Counter streams are per ``(name, scope)`` — each shard index,
+        HTTP method, etc. paces its own deterministic sequence.
+        """
+        points = self._by_name.get(name)
+        if not points:
+            return None
+        scope = scope or ""
+        state = self._load_state(name, scope)
+        ordinal = state[0]
+        state[0] += 1
+        fired: Optional[FaultPoint] = None
+        for point in points:
+            if ordinal < point.after:
+                continue
+            if point.times is not None and state[1] >= point.times:
+                continue
+            if _draw(self.seed, name, scope, ordinal) < point.rate:
+                fired = point
+                state[1] += 1
+                break
+        self._save_state(name, scope, state)
+        return fired
+
+
+# ---------------------------------------------------------------------------
+# The process-wide active plan
+# ---------------------------------------------------------------------------
+
+_active: Optional[FaultPlan] = None
+#: The env spec string the cached env-hydrated plan was parsed from.
+_env_spec: Optional[str] = None
+_env_plan: Optional[FaultPlan] = None
+
+
+def install_plan(plan: Optional[FaultPlan]) -> None:
+    """Activate ``plan`` in this process (None deactivates).
+
+    Plans with a ``state_dir`` are also exported via
+    :data:`FAULT_PLAN_ENV` so subprocess workers inherit them; plans
+    without one stay process-local (their counters cannot be shared).
+    """
+    global _active
+    _active = plan
+    if plan is not None and plan.state_dir is not None:
+        os.environ[FAULT_PLAN_ENV] = json.dumps(plan.to_spec(),
+                                                sort_keys=True)
+    elif plan is None:
+        os.environ.pop(FAULT_PLAN_ENV, None)
+
+
+def clear_plan() -> None:
+    """Deactivate any installed plan and drop the env spec."""
+    global _env_spec, _env_plan
+    install_plan(None)
+    _env_spec = None
+    _env_plan = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed plan, else one hydrated from :data:`FAULT_PLAN_ENV`.
+
+    The env-hydrated plan is cached per spec string, so in-process
+    counters survive repeated calls while a changed env value (e.g. a
+    test installing a new schedule) takes effect immediately.
+    """
+    if _active is not None:
+        return _active
+    spec = os.environ.get(FAULT_PLAN_ENV)
+    if not spec:
+        return None
+    global _env_spec, _env_plan
+    if spec != _env_spec:
+        try:
+            _env_plan = FaultPlan.from_spec(json.loads(spec))
+        except (ValueError, KeyError, TypeError):
+            _env_plan = None
+        _env_spec = spec
+    return _env_plan
+
+
+def maybe_fire(name: str, scope: Optional[str] = None
+               ) -> Optional[FaultPoint]:
+    """Evaluate injection point ``name`` against the active plan.
+
+    The production no-op path is one dict lookup plus one env get.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.fires(name, scope)
+
+
+def sleep_for(point: FaultPoint, default: float = 3600.0) -> None:
+    """Block for a ``hang`` point's duration (``arg`` seconds)."""
+    time.sleep(point.arg if point.arg is not None else default)
+
+
+# ---------------------------------------------------------------------------
+# Backend wrapper (replaces ad-hoc monkeypatching in the test suites)
+# ---------------------------------------------------------------------------
+
+class FaultyBackend:
+    """Wraps a :class:`ShardStoreBackend`, injecting store faults.
+
+    Points: ``store.get`` / ``store.put`` / ``store.exists`` /
+    ``store.evict`` (scope = the entry key).  Kinds:
+
+    * ``error`` — raise :class:`~repro.crawler.storebackends.
+      StoreBackendError` (an unreachable/broken store);
+    * ``corrupt`` (get only) — return mangled bytes, exercising the
+      digest-verify-and-evict path above the seam;
+    * ``torn`` (put only) — write every blob except the committing
+      ``meta.json``, leaving a publishable-later miss.
+    """
+
+    name = "faulty"
+
+    def __init__(self, inner, plan: Optional[FaultPlan] = None):
+        self.inner = inner
+        self.plan = plan
+
+    def _fire(self, op: str, key: str):
+        plan = self.plan if self.plan is not None else active_plan()
+        if plan is None:
+            return None
+        return plan.fires(f"store.{op}", scope=key)
+
+    def _raise(self, op: str, key: str) -> None:
+        from .crawler.storebackends import StoreBackendError
+        raise StoreBackendError(
+            f"injected store fault: {op} {key[:12]}…")
+
+    def get(self, key: str, name: str):
+        point = self._fire("get", key)
+        if point is not None:
+            if point.kind == "corrupt":
+                data = self.inner.get(key, name)
+                return None if data is None else b"\x00CORRUPT\x00" + data
+            self._raise("get", key)
+        return self.inner.get(key, name)
+
+    def put(self, key: str, blobs: Dict[str, bytes]) -> None:
+        point = self._fire("put", key)
+        if point is not None:
+            if point.kind == "torn":
+                from .crawler.storebackends import META_NAME
+                self.inner.put(key, {n: b for n, b in blobs.items()
+                                     if n != META_NAME})
+                return
+            self._raise("put", key)
+        self.inner.put(key, blobs)
+
+    def exists(self, key: str) -> bool:
+        if self._fire("exists", key) is not None:
+            self._raise("exists", key)
+        return self.inner.exists(key)
+
+    def evict(self, key: str) -> None:
+        if self._fire("evict", key) is not None:
+            self._raise("evict", key)
+        self.inner.evict(key)

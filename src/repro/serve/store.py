@@ -13,9 +13,25 @@ Protocol (all bodies are opaque bytes)::
 
     GET     /objects/<key>/<name>   -> 200 blob bytes | 404
     HEAD    /objects/<key>/<name>   -> 200 | 404
-    PUT     /objects/<key>/<name>   -> 204 (atomic tmp+rename write)
+    PUT     /objects/<key>/<name>   -> 204 (atomic tmp+fsync+rename write)
     DELETE  /objects/<key>          -> 204 (evict whole entry; idempotent)
-    GET     /healthz                -> 200 {"status": "ok"}
+    GET     /healthz                -> 200 {"status": "ok"}  (liveness)
+    GET     /readyz                 -> 200 {"status": "ready"} | 503
+                                       (readiness: the store root is
+                                       writable, so PUTs will land)
+
+``/healthz`` answers as long as the process is up (liveness);
+``/readyz`` additionally probes that the store root is writable
+(readiness) — an orchestrator should route traffic on ``/readyz`` and
+restart on ``/healthz``, so a store with a full or read-only disk is
+drained instead of swallowing uploads into 500s.
+
+For chaos testing, ``make_store_server(..., fault_plan=...)`` (or an
+ambient :data:`repro.faults.FAULT_PLAN_ENV` plan) arms the
+``http.response`` injection point: requests can deterministically
+answer 503 (kind ``http-503``) or slam the connection without a status
+line (kind ``close``), exercising the client's retry policy and its
+connection-failure-is-never-a-miss contract.
 
 The server stores blobs exactly where a local :class:`ShardStore`
 would (``<root>/objects/<key[:2]>/<key>/<name>``), so a directory can
@@ -30,13 +46,16 @@ charset — which keeps path traversal impossible.
 from __future__ import annotations
 
 import json
+import os
 import re
+import socket
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Optional, Tuple, Union
 from urllib.parse import unquote, urlsplit
 
 from ..crawler.storebackends import LocalDirectoryBackend
+from ..faults import FaultPlan, active_plan
 
 __all__ = ["ShardStoreHandler", "make_store_server", "serve_store"]
 
@@ -68,14 +87,44 @@ class ShardStoreHandler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
+    def _inject_fault(self) -> bool:
+        """Evaluate the ``http.response`` point; True when handled.
+
+        Scope is the HTTP method, so GETs and PUTs pace independent
+        deterministic streams.  ``close`` slams the socket without a
+        status line — the client sees exactly what a crashed server
+        looks like (BadStatusLine / connection reset mid-exchange).
+        """
+        plan = getattr(self.server, "fault_plan", None) or active_plan()
+        if plan is None:
+            return False
+        point = plan.fires("http.response", scope=self.command)
+        if point is None:
+            return False
+        self.close_connection = True
+        if point.kind == "close":
+            try:
+                self.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            return True
+        self._respond(503, b"injected fault\n")
+        return True
+
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self._inject_fault():
+            return
         self._serve_blob(send_body=True)
 
     def do_HEAD(self) -> None:  # noqa: N802
+        if self._inject_fault():
+            return
         self._serve_blob(send_body=False)
 
     def do_PUT(self) -> None:  # noqa: N802
+        if self._inject_fault():
+            return
         target = self._blob_target()
         if target is None:
             return
@@ -98,6 +147,8 @@ class ShardStoreHandler(BaseHTTPRequestHandler):
         self._respond(204)
 
     def do_DELETE(self) -> None:  # noqa: N802
+        if self._inject_fault():
+            return
         parts = self._path_parts()
         if (len(parts) == 2 and parts[0] == "objects"
                 and _KEY_RE.fullmatch(parts[1])):
@@ -128,6 +179,9 @@ class ShardStoreHandler(BaseHTTPRequestHandler):
             self._respond(200, body if send_body else b"",
                           content_length=len(body))
             return
+        if parts == ["readyz"]:
+            self._serve_readyz(send_body)
+            return
         target = self._blob_target()
         if target is None:
             return
@@ -137,6 +191,32 @@ class ShardStoreHandler(BaseHTTPRequestHandler):
             return
         self._respond(200, data if send_body else b"",
                       content_length=len(data))
+
+    def _serve_readyz(self, send_body: bool) -> None:
+        """Readiness: distinct from liveness — can this store take PUTs?
+
+        Probes the root with a real write + fsync + unlink, the same
+        I/O path an upload commits through.  A full or read-only disk
+        answers 503 so an orchestrator drains this replica while
+        ``/healthz`` keeps reporting the process itself alive.
+        """
+        probe = self.backend.root / ".readyz-probe"
+        try:
+            with open(probe, "wb") as handle:
+                handle.write(b"ready\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.unlink(probe)
+        except OSError as exc:
+            body = (json.dumps({"status": "unavailable",
+                                "error": type(exc).__name__}) +
+                    "\n").encode("utf-8")
+            self._respond(503, body if send_body else b"",
+                          content_length=len(body))
+            return
+        body = (json.dumps({"status": "ready"}) + "\n").encode("utf-8")
+        self._respond(200, body if send_body else b"",
+                      content_length=len(body))
 
     def _respond(self, status: int, body: bytes = b"",
                  content_length: Optional[int] = None) -> None:
@@ -151,14 +231,21 @@ class ShardStoreHandler(BaseHTTPRequestHandler):
 
 
 def make_store_server(root: Union[str, Path], host: str = "127.0.0.1",
-                      port: int = 8412,
-                      verbose: bool = False) -> ThreadingHTTPServer:
-    """Build (but don't start) the store server; port 0 picks a free one."""
+                      port: int = 8412, verbose: bool = False,
+                      fault_plan: Optional[FaultPlan] = None
+                      ) -> ThreadingHTTPServer:
+    """Build (but don't start) the store server; port 0 picks a free one.
+
+    ``fault_plan`` arms the ``http.response`` injection point for this
+    server only; without it an ambient :data:`repro.faults.
+    FAULT_PLAN_ENV` plan (if any) applies.
+    """
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
     server = ThreadingHTTPServer((host, port), ShardStoreHandler)
     server.backend = LocalDirectoryBackend(root)  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
+    server.fault_plan = fault_plan  # type: ignore[attr-defined]
     return server
 
 

@@ -14,6 +14,7 @@ import pytest
 from repro.cliutil import (
     pop_choice_flag,
     pop_flag,
+    pop_float_flag,
     pop_int_flag,
     pop_switch,
     reject_unknown_flags,
@@ -199,3 +200,46 @@ class TestEndToEndParse:
             pop_int_flag(["--max-retries", "-1"], "--max-retries", 2,
                          minimum=0)
         assert exc.value.code == 2
+
+
+class TestPopFloatFlag:
+    def test_default_when_absent(self):
+        assert pop_float_flag([], "--task-timeout") is None
+        assert pop_float_flag([], "--store-backoff", 0.1) == 0.1
+
+    def test_parses_value(self):
+        args = ["--task-timeout", "90.5", "run"]
+        assert pop_float_flag(args, "--task-timeout") == 90.5
+        assert args == ["run"]
+
+    def test_accepts_integer_literals(self):
+        assert pop_float_flag(["--task-timeout=120"],
+                              "--task-timeout") == 120.0
+
+    def test_non_number_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            pop_float_flag(["--task-timeout", "soon"], "--task-timeout")
+        assert exc.value.code == 2
+
+    def test_below_minimum_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            pop_float_flag(["--store-backoff", "-0.5"],
+                           "--store-backoff", 0.1, minimum=0)
+        assert exc.value.code == 2
+
+    def test_inclusive_minimum_admits_the_bound(self):
+        assert pop_float_flag(["--store-backoff", "0"],
+                              "--store-backoff", 0.1, minimum=0) == 0.0
+
+    def test_exclusive_minimum_rejects_the_bound(self):
+        # A task timeout of exactly zero would kill every worker at
+        # spawn; the bound itself must be refused.
+        with pytest.raises(SystemExit) as exc:
+            pop_float_flag(["--task-timeout", "0"], "--task-timeout",
+                           minimum=0, exclusive_minimum=True)
+        assert exc.value.code == 2
+
+    def test_repeated_last_wins(self):
+        args = ["--task-timeout", "5", "--task-timeout", "30"]
+        assert pop_float_flag(args, "--task-timeout") == 30.0
+        assert args == []

@@ -834,3 +834,56 @@ class TestDurabilityFsync:
         manifest.save(tmp_path)
         assert len(fsync_calls) == before + 1
         assert ShardManifest.load(tmp_path).to_dict() == manifest.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Lease deadlines: hung workers are killed, evidenced, and retried
+# ---------------------------------------------------------------------------
+
+class TestTaskDeadline:
+    def test_coordinator_rejects_nonpositive_timeout(self, small_population):
+        for bad in (0, -1.5):
+            with pytest.raises(ValueError):
+                Coordinator(small_population, CrawlConfig(seed=SEED),
+                            task_timeout=bad)
+
+    def test_timeout_flows_into_work_context(self, small_population,
+                                             tmp_path):
+        captured = []
+
+        class Probe(InProcessBackend):
+            def run(self, ctx, tasks):
+                captured.append(ctx.task_timeout)
+                return super().run(ctx, tasks)
+
+        Coordinator(small_population, CrawlConfig(seed=SEED),
+                    backend=Probe(), task_timeout=12.5).run(
+            tmp_path / "crawl", n_shards=N_SHARDS)
+        assert captured == [12.5]
+
+    def test_kill_on_deadline_preserves_log_and_names_it(self, tmp_path):
+        import subprocess
+        import sys
+        backend = SubprocessBackend(jobs=1)
+        log_path = tmp_path / ".worker-0000-a01.log"
+        log_path.write_text("partial worker chatter\n")
+        task = ShardTask(index=0, of=1, ranks=(1,), attempts=1)
+        proc = subprocess.Popen([sys.executable, "-c",
+                                 "import time; time.sleep(600)"])
+        outcome = backend._kill_on_deadline(task, proc, log_path, 1.5)
+        assert proc.poll() is not None          # actually dead
+        assert not outcome.ok
+        assert outcome.index == 0
+        assert "exceeded task deadline" in outcome.error
+        assert "1.5" in outcome.error
+        assert str(log_path) in outcome.error   # evidence is named...
+        assert log_path.exists()                # ...and survives
+        assert "partial worker chatter" in log_path.read_text()
+
+    def test_attempt_suffixed_logs_never_clobber_prior_evidence(self):
+        # The poll loop names logs .worker-NNNN-aAA.log by lease
+        # attempt, so a deadline-killed attempt's kept log can't be
+        # truncated by its own retry reopening the same filename.
+        first = f".worker-{0:04d}-a{1:02d}.log"
+        retry = f".worker-{0:04d}-a{2:02d}.log"
+        assert first != retry

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import socket
 import threading
 import urllib.request
 
@@ -24,12 +26,14 @@ from repro.crawler import (
     HTTPStoreBackend,
     InMemoryBackend,
     LocalDirectoryBackend,
+    RetryPolicy,
     ShardStore,
     StoreBackendError,
     load_logs,
 )
 from repro.crawler.distributed import WorkSpec, run_shard_worker
 from repro.crawler.storebackends import META_NAME
+from repro.faults import FaultPlan, FaultPoint
 from repro.ecosystem import PopulationConfig, generate_population
 from repro.serve import make_store_server
 
@@ -246,3 +250,247 @@ class TestRemoteStoreEndToEnd:
         assert [log.to_dict() for log in
                 sorted(worker_logs, key=lambda l: l.rank)] \
             == [log.to_dict() for log in serial]
+
+
+def _rogue_server(conversation):
+    """A one-request-at-a-time socket server speaking broken HTTP.
+
+    ``conversation(conn)`` decides how to mistreat each client.  Models
+    the failure classes urllib does *not* wrap into URLError: a garbage
+    status line and a body shorter than its Content-Length.
+    """
+    server = socket.create_server(("127.0.0.1", 0))
+
+    def loop():
+        while True:
+            try:
+                conn, _ = server.accept()
+            except OSError:
+                return
+            with conn:
+                try:
+                    conversation(conn)
+                except OSError:
+                    pass
+
+    threading.Thread(target=loop, daemon=True).start()
+    return server, f"http://127.0.0.1:{server.getsockname()[1]}"
+
+
+class TestConnectionFailureIsNeverAMiss:
+    """Satellite contract: broken transport raises, never misses.
+
+    Before the fix, ``http.client.BadStatusLine`` and ``IncompleteRead``
+    escaped ``HTTPStoreBackend`` as raw exceptions (or worse, turned
+    into a "miss" upstream) because urllib only wraps errors raised
+    while *opening* the connection.  Each scenario here must surface as
+    :class:`StoreBackendError` — a cache miss answer is how a healthy
+    store says "re-crawl"; a broken wire must never impersonate it.
+    """
+
+    NO_RETRY = RetryPolicy(attempts=1)
+
+    def test_garbage_status_line_raises(self):
+        def slam(conn):
+            conn.recv(65536)
+            conn.sendall(b"this is not http\r\n")
+
+        server, url = _rogue_server(slam)
+        try:
+            backend = HTTPStoreBackend(url, timeout=2.0,
+                                       retry=self.NO_RETRY)
+            with pytest.raises(StoreBackendError):
+                backend.get(KEY, META_NAME)
+            with pytest.raises(StoreBackendError):
+                backend.exists(KEY)
+        finally:
+            server.close()
+
+    def test_truncated_body_raises(self):
+        def truncate(conn):
+            conn.recv(65536)
+            conn.sendall(b"HTTP/1.1 200 OK\r\n"
+                         b"Content-Length: 4096\r\n\r\n"
+                         b"only this much")
+
+        server, url = _rogue_server(truncate)
+        try:
+            backend = HTTPStoreBackend(url, timeout=2.0,
+                                       retry=self.NO_RETRY)
+            with pytest.raises(StoreBackendError):
+                backend.get(KEY, META_NAME)
+        finally:
+            server.close()
+
+    def test_connection_slam_mid_service_retries_through(self, tmp_path):
+        # A store-serve that drops one connection per method without a
+        # status line (kind="close"): the retrying client rides it out.
+        plan = FaultPlan([FaultPoint("http.response", kind="close",
+                                     times=1)], seed=1)
+        server = make_store_server(tmp_path / "remote", port=0,
+                                   fault_plan=plan)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = (f"http://{server.server_address[0]}:"
+                   f"{server.server_address[1]}")
+            backend = HTTPStoreBackend(
+                url, retry=RetryPolicy(attempts=3, backoff=0.01))
+            backend.put(KEY, {META_NAME: b"{}"})   # PUT slammed once
+            assert backend.get(KEY, META_NAME) == b"{}"  # GET slammed once
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestRetryPolicy:
+    def test_delay_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(attempts=5, backoff=0.1, multiplier=2.0,
+                             max_backoff=0.3)
+        assert [policy.delay(i) for i in range(4)] \
+            == [0.1, 0.2, 0.3, 0.3]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"attempts": 0}, {"backoff": -0.1}, {"multiplier": 0.5},
+        {"max_backoff": -1.0},
+    ])
+    def test_invalid_knobs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def _flaky_server(self, tmp_path, times):
+        plan = FaultPlan([FaultPoint("http.response", kind="http-503",
+                                     times=times)], seed=1)
+        server = make_store_server(tmp_path / "remote", port=0,
+                                   fault_plan=plan)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = (f"http://{server.server_address[0]}:"
+               f"{server.server_address[1]}")
+        return server, thread, url
+
+    def test_get_retries_503_with_backoff_then_succeeds(self, tmp_path):
+        server, thread, url = self._flaky_server(tmp_path, times=2)
+        try:
+            policy = RetryPolicy(attempts=3, backoff=0.05, multiplier=2.0)
+            backend = HTTPStoreBackend(url, retry=policy)
+            delays = []
+            backend._sleep = delays.append
+            backend.put(KEY, {META_NAME: b"{}"})
+            assert backend.get(KEY, META_NAME) == b"{}"
+            # times=2 caps per method scope: the PUT and the GET each
+            # rode out two 503s on the policy's exponential schedule.
+            assert delays == [policy.delay(0), policy.delay(1)] * 2
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_retry_budget_exhaustion_raises(self, tmp_path):
+        server, thread, url = self._flaky_server(tmp_path, times=None)
+        try:
+            policy = RetryPolicy(attempts=3, backoff=0.01)
+            backend = HTTPStoreBackend(url, retry=policy)
+            delays = []
+            backend._sleep = delays.append
+            with pytest.raises(StoreBackendError):
+                backend.get(KEY, META_NAME)
+            assert len(delays) == policy.attempts - 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_delete_is_not_idempotent_safe_and_fails_fast(self, tmp_path):
+        server, thread, url = self._flaky_server(tmp_path, times=None)
+        try:
+            backend = HTTPStoreBackend(
+                url, retry=RetryPolicy(attempts=5, backoff=0.01))
+            delays = []
+            backend._sleep = delays.append
+            with pytest.raises(StoreBackendError):
+                backend.evict(KEY)
+            assert delays == []   # DELETE gets exactly one attempt
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_miss_is_not_retried(self, store_server):
+        backend = HTTPStoreBackend(
+            store_server, retry=RetryPolicy(attempts=5, backoff=0.01))
+        delays = []
+        backend._sleep = delays.append
+        assert backend.get(KEY, META_NAME) is None   # honest 404
+        assert delays == []
+
+
+class TestLocalPutDurability:
+    """Satellite contract: blob bytes are fsynced before the rename."""
+
+    def test_every_blob_fsyncs_before_replace(self, tmp_path,
+                                              monkeypatch):
+        synced = []
+        replaced = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            synced.append(len(replaced))   # replaces seen so far
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            replaced.append(str(dst))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        backend = LocalDirectoryBackend(tmp_path / "store")
+        backend.put(KEY, {"shard.jsonl": b"data", META_NAME: b"{}"})
+        # Two blobs -> two fsyncs, each before its own rename landed.
+        assert synced == [0, 1]
+        assert [dst.rsplit("/", 1)[1] for dst in replaced] \
+            == ["shard.jsonl", META_NAME]   # meta commits last
+        assert not list((tmp_path / "store").rglob("*.tmp"))
+
+
+class TestTornMeta:
+    """Satellite contract: a torn meta.json is a miss, never a
+    corrupt-but-present entry that poisons every later fetch."""
+
+    def _published(self, tmp_path):
+        backend = LocalDirectoryBackend(tmp_path / "cache")
+        store = ShardStore(backend)
+        payload = tmp_path / "shard-0000.jsonl"
+        payload.write_text('{"rank": 1}\n')
+        store.put(KEY, payload, count=1, compress=False)
+        return backend, store, payload.read_bytes()
+
+    def test_meta_absent_is_a_clean_miss(self, tmp_path):
+        backend, store, _ = self._published(tmp_path)
+        (backend._entry_dir(KEY) / META_NAME).unlink()
+        assert not store.contains(KEY)
+        assert store.fetch(KEY, tmp_path / "out", 0) is None
+
+    def test_leftover_tmp_is_not_a_commit(self, tmp_path):
+        backend, store, _ = self._published(tmp_path)
+        entry = backend._entry_dir(KEY)
+        (entry / META_NAME).rename(entry / (META_NAME + ".tmp"))
+        assert not store.contains(KEY)
+        assert store.fetch(KEY, tmp_path / "out", 0) is None
+
+    def test_garbage_meta_is_evicted_not_poisonous(self, tmp_path):
+        backend, store, original = self._published(tmp_path)
+        (backend._entry_dir(KEY) / META_NAME).write_bytes(b'{"count"')
+        assert store.fetch(KEY, tmp_path / "out", 0) is None
+        # The half-written commit record is gone, not lingering where
+        # contains() would keep answering True forever.
+        assert not store.contains(KEY)
+        assert not backend.exists(KEY)
+        payload = tmp_path / "again.jsonl"
+        payload.write_bytes(original)
+        store.put(KEY, payload, count=1, compress=False)
+        fetched = store.fetch(KEY, tmp_path / "out", 0)
+        assert fetched is not None
+        assert (tmp_path / "out" / "shard-0000.jsonl").read_bytes() \
+            == original
